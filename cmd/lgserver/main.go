@@ -1,0 +1,79 @@
+// Command lgserver runs a LiveGraph instance behind the HTTP/JSON API —
+// the counterpart of the paper's benchmark server (§7.1, which fronts the
+// embedded store with an RPC framework).
+//
+// Usage:
+//
+//	lgserver -addr :7450 -dir ./data -device optane
+//
+// With -dir set the graph is durable (WAL + checkpoints); SIGINT closes it
+// cleanly. See internal/server for the endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"livegraph/internal/core"
+	"livegraph/internal/iosim"
+	"livegraph/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7450", "listen address")
+		dir     = flag.String("dir", "", "data directory (empty = volatile in-memory)")
+		device  = flag.String("device", "null", "simulated persistence device: null, optane, nand")
+		workers = flag.Int("workers", 256, "max concurrent transactions")
+		history = flag.Int64("history", 0, "temporal history retention (epochs)")
+	)
+	flag.Parse()
+
+	var prof iosim.Profile
+	switch *device {
+	case "optane":
+		prof = iosim.Optane
+	case "nand":
+		prof = iosim.NAND
+	case "null":
+		prof = iosim.Null
+	default:
+		fmt.Fprintf(os.Stderr, "lgserver: unknown device %q\n", *device)
+		os.Exit(2)
+	}
+
+	g, err := core.Open(core.Options{
+		Dir:              *dir,
+		Device:           iosim.NewDevice(prof),
+		Workers:          *workers,
+		HistoryRetention: *history,
+	})
+	if err != nil {
+		log.Fatalf("lgserver: open: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(g)}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		log.Println("lgserver: shutting down")
+		srv.Close()
+	}()
+
+	mode := "in-memory"
+	if *dir != "" {
+		mode = "durable at " + *dir
+	}
+	log.Printf("lgserver: serving %s graph on %s (device %s)", mode, *addr, prof.Name)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		log.Fatalf("lgserver: close: %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+// Analytics example: iterative whole-graph analytics (PageRank, Connected
+// Components) executed in-situ on LiveGraph's latest snapshot — the paper's
+// §7.4 scenario, where skipping the ETL export to a dedicated engine more
+// than pays for the engine's faster kernels.
+//
+// The example ingests a power-law graph, keeps updating it, and runs
+// PageRank concurrently with the updates on a consistent snapshot, then
+// compares the in-situ path against the export-to-CSR path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"livegraph"
+	"livegraph/internal/analytics"
+	"livegraph/internal/baseline/csr"
+	"livegraph/internal/workload/kron"
+)
+
+const follows = livegraph.Label(0)
+
+func main() {
+	g, err := livegraph.Open(livegraph.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	// Ingest a scale-2^13 power-law graph.
+	const scale = 13
+	edges := kron.Generate(scale, 8, 1, kron.DefaultParams)
+	tx, _ := g.Begin()
+	for i := 0; i < 1<<scale; i++ {
+		tx.AddVertex(nil)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	for start := 0; start < len(edges); start += 4096 {
+		end := start + 4096
+		if end > len(edges) {
+			end = len(edges)
+		}
+		err := livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+			for _, e := range edges[start:end] {
+				if err := tx.InsertEdge(livegraph.VertexID(e.Src), follows, livegraph.VertexID(e.Dst), nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Keep writing while analytics run: snapshots make them independent.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			livegraph.Update(g, 5, func(tx *livegraph.Tx) error {
+				return tx.InsertEdge(livegraph.VertexID(rng.Intn(1<<scale)), follows,
+					livegraph.VertexID(rng.Intn(1<<scale)), nil)
+			})
+		}
+	}()
+
+	// In-situ: PageRank directly on the latest snapshot.
+	snap, err := g.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	view := analytics.SnapshotView{Snap: snap, Label: follows}
+	t0 := time.Now()
+	ranks := analytics.PageRank(view, 20, 8)
+	inSitu := time.Since(t0)
+
+	// Export path: ETL to CSR, then the kernel.
+	t0 = time.Now()
+	cg := csr.BuildFromScanner(snap.NumVertices(), func(fn func(src, dst int64)) {
+		for v := int64(0); v < snap.NumVertices(); v++ {
+			snap.ScanNeighbors(livegraph.VertexID(v), follows, func(d livegraph.VertexID, _ []byte) bool {
+				fn(v, int64(d))
+				return true
+			})
+		}
+	})
+	etl := time.Since(t0)
+	t0 = time.Now()
+	analytics.PageRank(analytics.CSRView{G: cg}, 20, 8)
+	onCSR := time.Since(t0)
+
+	comps := analytics.ConnComp(view, 8)
+	snap.Release()
+	close(stop)
+	wg.Wait()
+
+	// Report.
+	type vr struct {
+		v int64
+		r float64
+	}
+	top := make([]vr, 0, len(ranks))
+	for v, r := range ranks {
+		top = append(top, vr{int64(v), r})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].r > top[j].r })
+	fmt.Println("top-5 PageRank vertices:")
+	for _, t := range top[:5] {
+		fmt.Printf("  v%-8d %.6f\n", t.v, t.r)
+	}
+	fmt.Printf("components: %d\n", analytics.NumComponents(comps, nil))
+	fmt.Printf("PageRank in-situ:        %v\n", inSitu.Round(time.Millisecond))
+	fmt.Printf("PageRank via ETL to CSR: %v (ETL %v + kernel %v)\n",
+		(etl + onCSR).Round(time.Millisecond), etl.Round(time.Millisecond), onCSR.Round(time.Millisecond))
+	if etl+onCSR > inSitu {
+		fmt.Println("=> in-situ wins end-to-end: the ETL cost dominates the kernel speedup")
+	}
+}

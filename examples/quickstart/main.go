@@ -1,0 +1,75 @@
+// Quickstart: the basic LiveGraph API — open a graph, run write
+// transactions, scan adjacency lists on a consistent snapshot, and observe
+// snapshot isolation in action.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"livegraph"
+)
+
+const knows = livegraph.Label(0)
+
+func main() {
+	// An in-memory graph; set Options.Dir for durability.
+	g, err := livegraph.Open(livegraph.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	// A write transaction: create a small social graph.
+	var alice, bob, carol livegraph.VertexID
+	err = livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		alice, _ = tx.AddVertex([]byte("Alice"))
+		bob, _ = tx.AddVertex([]byte("Bob"))
+		carol, _ = tx.AddVertex([]byte("Carol"))
+		// InsertEdge is the amortised-O(1) fast path for edges known to be
+		// new; AddEdge upserts.
+		if err := tx.InsertEdge(alice, knows, bob, []byte("met 2019")); err != nil {
+			return err
+		}
+		return tx.InsertEdge(alice, knows, carol, []byte("met 2021"))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A read-only snapshot: purely sequential adjacency list scan, newest
+	// edge first.
+	livegraph.View(g, func(tx *livegraph.Tx) error {
+		fmt.Println("Alice knows:")
+		it := tx.Neighbors(alice, knows)
+		for it.Next() {
+			name, _ := tx.GetVertex(it.Dst())
+			fmt.Printf("  %s (%s)\n", name, it.Props())
+		}
+		return nil
+	})
+
+	// Snapshot isolation: a reader opened before a concurrent update keeps
+	// its consistent view.
+	reader, _ := g.BeginRead()
+	livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		return tx.InsertEdge(alice, knows, bob+100, nil) // new friend appears
+	})
+	fmt.Printf("old snapshot sees %d friends; ", reader.Degree(alice, knows))
+	reader.Commit()
+
+	livegraph.View(g, func(tx *livegraph.Tx) error {
+		fmt.Printf("a new snapshot sees %d\n", tx.Degree(alice, knows))
+		return nil
+	})
+
+	// Edge updates are versioned: upsert replaces, old snapshots unaffected.
+	livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		return tx.AddEdge(alice, knows, bob, []byte("met 2019, reconnected 2024"))
+	})
+	livegraph.View(g, func(tx *livegraph.Tx) error {
+		props, _ := tx.GetEdge(alice, knows, bob)
+		fmt.Printf("alice->bob now: %s\n", props)
+		return nil
+	})
+}

@@ -1,0 +1,135 @@
+// Social network example: the workload class the paper's introduction
+// motivates with Facebook's TAO — a feed service that continuously ingests
+// posts, likes and friendships while serving timeline reads, all on one
+// LiveGraph instance.
+//
+// It runs concurrent writer goroutines (ingest) against concurrent readers
+// (timelines) and prints feed excerpts plus engine statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"livegraph"
+)
+
+// Edge labels of the mini social schema.
+const (
+	lFriend livegraph.Label = iota
+	lPosted                 // user -> post, newest first = the timeline
+	lLikes                  // user -> post
+)
+
+func main() {
+	g, err := livegraph.Open(livegraph.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	// Seed users.
+	const users = 200
+	err = livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		for i := 0; i < users; i++ {
+			if _, err := tx.AddVertex([]byte(fmt.Sprintf("user-%d", i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Concurrent ingest: friendships, posts and likes from 8 writers.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 300; i++ {
+				err := livegraph.Update(g, 10, func(tx *livegraph.Tx) error {
+					u := livegraph.VertexID(rng.Intn(users))
+					switch rng.Intn(3) {
+					case 0: // friendship, both directions atomically
+						v := livegraph.VertexID(rng.Intn(users))
+						if err := tx.AddEdge(u, lFriend, v, nil); err != nil {
+							return err
+						}
+						return tx.AddEdge(v, lFriend, u, nil)
+					case 1: // new post
+						post, err := tx.AddVertex([]byte(fmt.Sprintf("post by %d (w%d/%d)", u, w, i)))
+						if err != nil {
+							return err
+						}
+						return tx.InsertEdge(u, lPosted, post, nil)
+					default: // like someone's latest post
+						v := livegraph.VertexID(rng.Intn(users))
+						it := tx.Neighbors(v, lPosted)
+						if it.Next() {
+							return tx.AddEdge(u, lLikes, it.Dst(), nil)
+						}
+						return nil
+					}
+				})
+				if err != nil {
+					log.Printf("ingest: %v", err)
+				}
+			}
+		}(w)
+	}
+
+	// Concurrent timeline reads while ingest is running: each read is a
+	// consistent snapshot; the newest-first TEL order gives the most
+	// recent posts without sorting.
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 500; i++ {
+			livegraph.View(g, func(tx *livegraph.Tx) error {
+				u := livegraph.VertexID(rng.Intn(users))
+				// Feed = newest 3 posts of each friend.
+				friends := tx.Neighbors(u, lFriend)
+				for friends.Next() {
+					posts := tx.Neighbors(friends.Dst(), lPosted)
+					for k := 0; k < 3 && posts.Next(); k++ {
+						tx.GetVertex(posts.Dst())
+					}
+				}
+				return nil
+			})
+		}
+	}()
+	wg.Wait()
+	readerWG.Wait()
+
+	// Print one user's feed.
+	livegraph.View(g, func(tx *livegraph.Tx) error {
+		u := livegraph.VertexID(1)
+		name, _ := tx.GetVertex(u)
+		fmt.Printf("%s: %d friends\n", name, tx.Degree(u, lFriend))
+		friends := tx.Neighbors(u, lFriend)
+		shown := 0
+		for friends.Next() && shown < 5 {
+			posts := tx.Neighbors(friends.Dst(), lPosted)
+			if posts.Next() {
+				content, _ := tx.GetVertex(posts.Dst())
+				likes := tx.Degree(friends.Dst(), lLikes)
+				fmt.Printf("  latest from friend %d: %q (friend has liked %d posts)\n",
+					friends.Dst(), content, likes)
+				shown++
+			}
+		}
+		return nil
+	})
+
+	st := g.Stats()
+	fmt.Printf("commits=%d aborts=%d upgrades=%d bloom-skips=%d\n",
+		st.Commits.Load(), st.Aborts.Load(), st.Upgrades.Load(), st.BloomSkips.Load())
+}

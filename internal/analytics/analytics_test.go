@@ -1,0 +1,160 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"livegraph/internal/baseline/csr"
+	"livegraph/internal/core"
+)
+
+// chain: 0 -> 1 -> 2 -> 3; star: 4 <- {5,6}; isolated: 7
+func testGraph() *csr.Graph {
+	return csr.Build(8, []csr.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 5, Dst: 4}, {Src: 6, Dst: 4},
+	})
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := testGraph()
+	for _, workers := range []int{1, 4} {
+		ranks := PageRank(CSRView{g}, 20, workers)
+		sum := 0.0
+		for _, r := range ranks {
+			sum += r
+		}
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Fatalf("workers=%d: rank sum %f", workers, sum)
+		}
+	}
+}
+
+func TestPageRankOrdering(t *testing.T) {
+	g := testGraph()
+	ranks := PageRank(CSRView{g}, 30, 2)
+	// Vertex 4 has two in-edges; it must outrank its in-neighbors 5 and 6
+	// (which have none).
+	if ranks[4] <= ranks[5] || ranks[4] <= ranks[6] {
+		t.Fatalf("rank[4]=%f not above sources %f %f", ranks[4], ranks[5], ranks[6])
+	}
+	// Chain accumulates: 3 (end, fed by 2) > 1e-9 more than isolated 7.
+	if ranks[3] <= ranks[7] {
+		t.Fatalf("rank[3]=%f <= rank[7]=%f", ranks[3], ranks[7])
+	}
+}
+
+func TestPageRankMatchesSequentialReference(t *testing.T) {
+	g := testGraph()
+	got := PageRank(CSRView{g}, 10, 4)
+	// Reference: simple sequential implementation.
+	n := int(g.NumVertices())
+	const d = 0.85
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < 10; it++ {
+		next := make([]float64, n)
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			deg := g.Degree(int64(u))
+			if deg == 0 {
+				dangling += rank[u]
+				continue
+			}
+			for _, dst := range g.Neighbors(int64(u)) {
+				next[dst] += rank[u] / float64(deg)
+			}
+		}
+		for u := 0; u < n; u++ {
+			rank[u] = (1-d)/float64(n) + d*dangling/float64(n) + d*next[u]
+		}
+	}
+	for i := range rank {
+		if math.Abs(rank[i]-got[i]) > 1e-12 {
+			t.Fatalf("vertex %d: parallel %g, reference %g", i, got[i], rank[i])
+		}
+	}
+}
+
+func TestConnComp(t *testing.T) {
+	g := testGraph()
+	for _, workers := range []int{1, 4} {
+		labels := ConnComp(CSRView{g}, workers)
+		// Component {0,1,2,3} -> 0, {4,5,6} -> 4, {7} -> 7.
+		for _, v := range []int{0, 1, 2, 3} {
+			if labels[v] != 0 {
+				t.Fatalf("workers=%d labels=%v", workers, labels)
+			}
+		}
+		for _, v := range []int{4, 5, 6} {
+			if labels[v] != 4 {
+				t.Fatalf("workers=%d labels=%v", workers, labels)
+			}
+		}
+		if labels[7] != 7 {
+			t.Fatalf("labels=%v", labels)
+		}
+		if n := NumComponents(labels, nil); n != 3 {
+			t.Fatalf("components=%d", n)
+		}
+	}
+}
+
+func TestNumComponentsWithExistence(t *testing.T) {
+	labels := []int64{0, 0, 2, 3}
+	n := NumComponents(labels, func(v int64) bool { return v != 3 })
+	if n != 2 {
+		t.Fatalf("components=%d, want 2", n)
+	}
+}
+
+func TestSnapshotViewMatchesCSRView(t *testing.T) {
+	// Build the same graph in LiveGraph and as CSR; kernels must agree.
+	g, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	edges := []csr.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 3, Dst: 2}, {Src: 4, Dst: 3}, {Src: 0, Dst: 4}}
+	tx, _ := g.Begin()
+	for i := 0; i < 5; i++ {
+		tx.AddVertex(nil)
+	}
+	for _, e := range edges {
+		tx.InsertEdge(core.VertexID(e.Src), 0, core.VertexID(e.Dst), nil)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := g.Snapshot()
+	defer snap.Release()
+	lgView := SnapshotView{Snap: snap, Label: 0}
+	csrView := CSRView{csr.Build(5, edges)}
+
+	pr1 := PageRank(lgView, 15, 2)
+	pr2 := PageRank(csrView, 15, 2)
+	for i := range pr1 {
+		if math.Abs(pr1[i]-pr2[i]) > 1e-12 {
+			t.Fatalf("vertex %d: snapshot %g, csr %g", i, pr1[i], pr2[i])
+		}
+	}
+	cc1 := ConnComp(lgView, 2)
+	cc2 := ConnComp(csrView, 2)
+	for i := range cc1 {
+		if cc1[i] != cc2[i] {
+			t.Fatalf("vertex %d: snapshot comp %d, csr comp %d", i, cc1[i], cc2[i])
+		}
+	}
+}
+
+func TestEmptyGraphKernels(t *testing.T) {
+	g := csr.Build(0, nil)
+	if r := PageRank(CSRView{g}, 5, 2); r != nil {
+		t.Fatalf("PageRank on empty graph: %v", r)
+	}
+	if l := ConnComp(CSRView{g}, 2); len(l) != 0 {
+		t.Fatalf("ConnComp on empty graph: %v", l)
+	}
+}

@@ -1,0 +1,112 @@
+package adjlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewestFirstOrder(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.AddEdge(1, int64(i), nil)
+	}
+	var got []int64
+	s.ScanNeighbors(1, func(dst int64, _ []byte) bool {
+		got = append(got, dst)
+		return true
+	})
+	for i := range got {
+		if got[i] != int64(9-i) {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestDeleteHeadMiddleTail(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.AddEdge(1, int64(i), nil)
+	}
+	// head of list = newest = 4; tail = 0; middle = 2
+	for _, dst := range []int64{4, 2, 0} {
+		if !s.DeleteEdge(1, dst) {
+			t.Fatalf("delete %d failed", dst)
+		}
+	}
+	if d := s.Degree(1); d != 2 {
+		t.Fatalf("degree %d", d)
+	}
+	for _, dst := range []int64{1, 3} {
+		if _, ok := s.GetEdge(1, dst); !ok {
+			t.Fatalf("edge %d lost", dst)
+		}
+	}
+}
+
+func TestUpdateInPlaceKeepsPosition(t *testing.T) {
+	s := New()
+	s.AddEdge(1, 10, []byte("a"))
+	s.AddEdge(1, 11, []byte("b"))
+	s.AddEdge(1, 10, []byte("a2")) // update: must not move to head
+	var got []int64
+	s.ScanNeighbors(1, func(dst int64, _ []byte) bool {
+		got = append(got, dst)
+		return true
+	})
+	if len(got) != 2 || got[0] != 11 || got[1] != 10 {
+		t.Fatalf("order %v", got)
+	}
+	if v, _ := s.GetEdge(1, 10); string(v) != "a2" {
+		t.Fatalf("props %q", v)
+	}
+}
+
+func TestQuickRandomOpsAgainstMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := New()
+		model := map[[2]int64][]byte{}
+		for _, op := range ops {
+			src := int64(op % 8)
+			dst := int64((op >> 3) % 32)
+			k := [2]int64{src, dst}
+			if (op>>9)%4 == 0 {
+				got := s.DeleteEdge(src, dst)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := []byte{byte(op)}
+				s.AddEdge(src, dst, v)
+				model[k] = v
+			}
+		}
+		if int(s.NumEdges()) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := s.GetEdge(k[0], k[1])
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLinkedListScan(b *testing.B) {
+	s := New()
+	for i := 0; i < 4096; i++ {
+		s.AddEdge(0, int64(i), nil)
+	}
+	b.ResetTimer()
+	n := int64(0)
+	for i := 0; i < b.N; i++ {
+		s.ScanNeighbors(0, func(int64, []byte) bool { n++; return true })
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/edge")
+}

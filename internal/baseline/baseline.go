@@ -1,0 +1,87 @@
+// Package baseline defines the common interface the paper's comparison
+// systems implement, so the micro-benchmark (Figure 1) and LinkBench
+// experiments drive every data structure through identical call paths.
+//
+// The concrete stores live in sub-packages:
+//
+//   - btree:   B+ tree edge table — the paper's LMDB stand-in
+//   - lsmt:    log-structured merge tree — the RocksDB stand-in
+//   - adjlist: pointer-linked adjacency lists — the Neo4j stand-in
+//   - csr:     compressed sparse rows — the read-only graph-engine layout
+//
+// The paper compares these as *data structures* (it re-implemented Neo4j's
+// linked list in C++ to remove language bias); likewise all stands-ins here
+// are native Go, so differences measured against LiveGraph's TEL reflect
+// data layout, not runtime.
+package baseline
+
+import "sync"
+
+// EdgeStore is the operation set the experiments exercise. Implementations
+// must be safe for concurrent use; their internal locking discipline is
+// part of what the paper compares (e.g. LMDB's single writer).
+type EdgeStore interface {
+	// Name identifies the store in benchmark output.
+	Name() string
+	// AddEdge upserts the (src,dst) edge with the given properties.
+	AddEdge(src, dst int64, props []byte)
+	// DeleteEdge removes (src,dst), reporting whether it existed.
+	DeleteEdge(src, dst int64) bool
+	// GetEdge returns the properties of (src,dst).
+	GetEdge(src, dst int64) ([]byte, bool)
+	// ScanNeighbors streams the adjacency list of src; fn returning false
+	// stops the scan early (that early stop is the "seek" measurement).
+	ScanNeighbors(src int64, fn func(dst int64, props []byte) bool)
+	// Degree counts src's edges.
+	Degree(src int64) int
+	// NumEdges returns the number of live edges.
+	NumEdges() int64
+}
+
+// NodeTable is a shared vertex-payload store used by the baseline systems
+// for LinkBench node operations, so the edge-structure comparison is not
+// polluted by unrelated node-storage differences. (LiveGraph uses its own
+// vertex blocks.)
+type NodeTable struct {
+	mu    sync.RWMutex
+	data  [][]byte
+	count int64
+}
+
+// AddNode appends a node payload, returning its ID.
+func (n *NodeTable) AddNode(data []byte) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := n.count
+	n.data = append(n.data, append([]byte(nil), data...))
+	n.count++
+	return id
+}
+
+// GetNode returns the payload of id.
+func (n *NodeTable) GetNode(id int64) ([]byte, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if id < 0 || id >= n.count {
+		return nil, false
+	}
+	return n.data[id], true
+}
+
+// UpdateNode replaces the payload of id.
+func (n *NodeTable) UpdateNode(id int64, data []byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if id < 0 || id >= n.count {
+		return false
+	}
+	n.data[id] = append([]byte(nil), data...)
+	return true
+}
+
+// Count returns the number of nodes.
+func (n *NodeTable) Count() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.count
+}

@@ -1,0 +1,230 @@
+// Package btree implements a B+ tree edge table — the paper's stand-in for
+// LMDB (§2.1, §7.1). Edges form a single sorted collection keyed by the
+// ⟨src,dst⟩ vertex-ID pair; an adjacency list scan is a range query over
+// all keys with a given src prefix.
+//
+// Scan behaviour matches Table 1: the seek costs O(log N) random accesses
+// down the tree; the per-edge scan is sequential within a leaf but takes a
+// random access (leaf-link hop) every time the adjacency list crosses a
+// node boundary.
+//
+// Concurrency mimics LMDB's model: a single writer at a time (writers take
+// an exclusive lock), readers share.
+package btree
+
+import (
+	"sync"
+)
+
+// order is the fan-out; 32 keys per node keeps inner nodes around two cache
+// lines of keys, comparable to classic in-memory B+ tree tunings.
+const order = 32
+
+// Key is the composite edge key.
+type Key struct {
+	Src, Dst int64
+}
+
+// Less orders keys by (src, dst).
+func (k Key) Less(o Key) bool {
+	if k.Src != o.Src {
+		return k.Src < o.Src
+	}
+	return k.Dst < o.Dst
+}
+
+type node struct {
+	leaf     bool
+	keys     []Key
+	children []*node  // inner nodes
+	vals     [][]byte // leaves
+	next     *node    // leaf link for range scans
+}
+
+// Store is a B+ tree EdgeStore.
+type Store struct {
+	mu    sync.RWMutex
+	root  *node
+	count int64
+}
+
+// New creates an empty B+ tree store.
+func New() *Store {
+	return &Store{root: &node{leaf: true}}
+}
+
+// Name implements baseline.EdgeStore.
+func (s *Store) Name() string { return "B+Tree(LMDB)" }
+
+// NumEdges implements baseline.EdgeStore.
+func (s *Store) NumEdges() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// search returns the index of the first key >= k in n.keys.
+func search(keys []Key, k Key) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid].Less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AddEdge implements baseline.EdgeStore (upsert).
+func (s *Store) AddEdge(src, dst int64, props []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := Key{src, dst}
+	v := append([]byte(nil), props...)
+	if s.insert(s.root, k, v) {
+		s.count++
+	}
+	if len(s.root.keys) >= order {
+		left := s.root
+		mid, right := split(left)
+		s.root = &node{keys: []Key{mid}, children: []*node{left, right}}
+	}
+}
+
+// insert returns true if a new key was added (false on overwrite).
+func (s *Store) insert(n *node, k Key, v []byte) bool {
+	if n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			n.vals[i] = v
+			return false
+		}
+		n.keys = append(n.keys, Key{})
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = v
+		return true
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && !n.keys[i].Less(k) && n.keys[i] == k {
+		i++ // descend right of an equal separator
+	}
+	child := n.children[i]
+	added := s.insert(child, k, v)
+	if len(child.keys) >= order {
+		mid, right := split(child)
+		n.keys = append(n.keys, Key{})
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = mid
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = right
+	}
+	return added
+}
+
+// split divides n in half, returning the separator key and new right node.
+func split(n *node) (Key, *node) {
+	mid := len(n.keys) / 2
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		right.next = n.next
+		n.next = right
+		return right.keys[0], right
+	}
+	sep := n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sep, right
+}
+
+// DeleteEdge implements baseline.EdgeStore. Deletion marks the slot empty
+// in the leaf without rebalancing (the classic "lazy delete" used by many
+// production B+ trees; LinkBench's delete rate is low).
+func (s *Store) DeleteEdge(src, dst int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := Key{src, dst}
+	n := s.root
+	for !n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := search(n.keys, k)
+	if i >= len(n.keys) || n.keys[i] != k {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	s.count--
+	return true
+}
+
+// GetEdge implements baseline.EdgeStore.
+func (s *Store) GetEdge(src, dst int64) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k := Key{src, dst}
+	n := s.root
+	for !n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := search(n.keys, k)
+	if i >= len(n.keys) || n.keys[i] != k {
+		return nil, false
+	}
+	return n.vals[i], true
+}
+
+// ScanNeighbors implements baseline.EdgeStore: a range scan from
+// (src, -inf) following leaf links.
+func (s *Store) ScanNeighbors(src int64, fn func(dst int64, props []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k := Key{src, -1 << 62}
+	n := s.root
+	for !n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := search(n.keys, k)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i].Src != src {
+				return
+			}
+			if !fn(n.keys[i].Dst, n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Degree implements baseline.EdgeStore.
+func (s *Store) Degree(src int64) int {
+	d := 0
+	s.ScanNeighbors(src, func(int64, []byte) bool { d++; return true })
+	return d
+}

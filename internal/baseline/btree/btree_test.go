@@ -1,0 +1,188 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		less bool
+	}{
+		{Key{1, 2}, Key{1, 3}, true},
+		{Key{1, 3}, Key{1, 2}, false},
+		{Key{1, 9}, Key{2, 0}, true},
+		{Key{2, 0}, Key{1, 9}, false},
+		{Key{1, 1}, Key{1, 1}, false},
+		{Key{-5, 0}, Key{1, 0}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v < %v = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestSplitsMaintainSortedLeaves(t *testing.T) {
+	s := New()
+	// Insert enough to force multi-level splits (order is 32).
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		s.AddEdge(int64(i%50), int64(i), []byte{byte(i)})
+	}
+	if s.NumEdges() != n {
+		t.Fatalf("NumEdges %d", s.NumEdges())
+	}
+	// Every per-source range scan yields sorted destinations.
+	for src := int64(0); src < 50; src++ {
+		var prev int64 = -1 << 62
+		count := 0
+		s.ScanNeighbors(src, func(dst int64, _ []byte) bool {
+			if dst <= prev {
+				t.Fatalf("src %d: scan out of order (%d after %d)", src, dst, prev)
+			}
+			prev = dst
+			count++
+			return true
+		})
+		if count != n/50 {
+			t.Fatalf("src %d: %d edges, want %d", src, count, n/50)
+		}
+	}
+}
+
+func TestRangeScanDoesNotLeakAcrossSources(t *testing.T) {
+	s := New()
+	// Adjacent sources with interleaved insertion order.
+	for i := 0; i < 200; i++ {
+		s.AddEdge(7, int64(i), nil)
+		s.AddEdge(8, int64(i), nil)
+		s.AddEdge(6, int64(i), nil)
+	}
+	for _, src := range []int64{6, 7, 8} {
+		if d := s.Degree(src); d != 200 {
+			t.Fatalf("Degree(%d) = %d", src, d)
+		}
+	}
+	if d := s.Degree(5); d != 0 {
+		t.Fatalf("Degree(5) = %d", d)
+	}
+}
+
+func TestDeleteThenScan(t *testing.T) {
+	s := New()
+	for i := 0; i < 500; i++ {
+		s.AddEdge(1, int64(i), nil)
+	}
+	for i := 0; i < 500; i += 2 {
+		if !s.DeleteEdge(1, int64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if d := s.Degree(1); d != 250 {
+		t.Fatalf("degree %d", d)
+	}
+	s.ScanNeighbors(1, func(dst int64, _ []byte) bool {
+		if dst%2 == 0 {
+			t.Fatalf("deleted edge %d visible", dst)
+		}
+		return true
+	})
+}
+
+func TestQuickRandomOpsAgainstMap(t *testing.T) {
+	f := func(ops []uint32) bool {
+		s := New()
+		model := map[Key][]byte{}
+		for _, op := range ops {
+			src := int64(op % 16)
+			dst := int64((op >> 4) % 64)
+			k := Key{src, dst}
+			switch (op >> 10) % 3 {
+			case 0, 1:
+				v := []byte{byte(op)}
+				s.AddEdge(src, dst, v)
+				model[k] = v
+			case 2:
+				got := s.DeleteEdge(src, dst)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if int(s.NumEdges()) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := s.GetEdge(k.Src, k.Dst)
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSequentialAndReverseInsert(t *testing.T) {
+	for name, order := range map[string]func(n int) []int{
+		"ascending": func(n int) []int {
+			out := make([]int, n)
+			for i := range out {
+				out[i] = i
+			}
+			return out
+		},
+		"descending": func(n int) []int {
+			out := make([]int, n)
+			for i := range out {
+				out[i] = n - 1 - i
+			}
+			return out
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := New()
+			for _, i := range order(3000) {
+				s.AddEdge(0, int64(i), nil)
+			}
+			if s.NumEdges() != 3000 {
+				t.Fatalf("NumEdges %d", s.NumEdges())
+			}
+			all := []int64{}
+			s.ScanNeighbors(0, func(dst int64, _ []byte) bool {
+				all = append(all, dst)
+				return true
+			})
+			if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i] < all[j] }) {
+				t.Fatal("scan not sorted")
+			}
+		})
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.AddEdge(int64(i%1024), int64(i), nil)
+	}
+}
+
+func BenchmarkBTreeSeek(b *testing.B) {
+	s := New()
+	for i := 0; i < 1<<16; i++ {
+		s.AddEdge(int64(i%1024), int64(i), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScanNeighbors(int64(i%1024), func(int64, []byte) bool { return false })
+	}
+}

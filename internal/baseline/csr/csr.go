@@ -1,0 +1,89 @@
+// Package csr implements the Compressed Sparse Row representation used by
+// static graph engines (paper §2.1 and the Gemini baseline of §7.4): an
+// offsets array indexed by source vertex and a targets array holding all
+// adjacency lists back to back. Seeks are one array lookup, scans are
+// purely sequential, and the structure is immutable — the Build step *is*
+// the ETL cost the paper measures in Table 10.
+package csr
+
+import "sort"
+
+// Graph is an immutable CSR graph.
+type Graph struct {
+	offsets []int64 // len = numVertices+1
+	targets []int64
+}
+
+// Edge is one directed edge for the builder.
+type Edge struct {
+	Src, Dst int64
+}
+
+// Build constructs a CSR graph from an edge list over vertices
+// [0, numVertices). The edge list is not required to be sorted.
+func Build(numVertices int64, edges []Edge) *Graph {
+	g := &Graph{
+		offsets: make([]int64, numVertices+1),
+		targets: make([]int64, len(edges)),
+	}
+	for _, e := range edges {
+		g.offsets[e.Src+1]++
+	}
+	for i := int64(1); i <= numVertices; i++ {
+		g.offsets[i] += g.offsets[i-1]
+	}
+	cursor := make([]int64, numVertices)
+	for _, e := range edges {
+		g.targets[g.offsets[e.Src]+cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+	}
+	// Sort each adjacency list for deterministic output and binary-search
+	// point lookups.
+	for v := int64(0); v < numVertices; v++ {
+		seg := g.targets[g.offsets[v]:g.offsets[v+1]]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	}
+	return g
+}
+
+// BuildFromScanner constructs a CSR graph by scanning a dynamic source —
+// the ETL path from a LiveGraph snapshot (Table 10). scan must invoke fn
+// for every edge.
+func BuildFromScanner(numVertices int64, scan func(fn func(src, dst int64))) *Graph {
+	var edges []Edge
+	scan(func(src, dst int64) { edges = append(edges, Edge{src, dst}) })
+	return Build(numVertices, edges)
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int64 { return int64(len(g.offsets)) - 1 }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int64 { return int64(len(g.targets)) }
+
+// Name identifies the layout in benchmark output.
+func (g *Graph) Name() string { return "CSR" }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int64) int { return int(g.offsets[v+1] - g.offsets[v]) }
+
+// Neighbors returns v's adjacency list as a shared slice (do not mutate).
+func (g *Graph) Neighbors(v int64) []int64 {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// ScanNeighbors streams v's adjacency list.
+func (g *Graph) ScanNeighbors(v int64, fn func(dst int64) bool) {
+	for _, d := range g.Neighbors(v) {
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+// HasEdge reports whether (src,dst) exists (binary search).
+func (g *Graph) HasEdge(src, dst int64) bool {
+	seg := g.Neighbors(src)
+	i := sort.Search(len(seg), func(i int) bool { return seg[i] >= dst })
+	return i < len(seg) && seg[i] == dst
+}

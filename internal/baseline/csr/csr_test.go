@@ -1,0 +1,79 @@
+package csr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildAndScan(t *testing.T) {
+	g := Build(4, []Edge{{0, 1}, {0, 2}, {1, 3}, {3, 0}, {0, 3}})
+	if g.NumVertices() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if d := g.Degree(0); d != 3 {
+		t.Fatalf("Degree(0)=%d", d)
+	}
+	if d := g.Degree(2); d != 0 {
+		t.Fatalf("Degree(2)=%d", d)
+	}
+	want := []int64{1, 2, 3}
+	got := g.Neighbors(0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(0)=%v", got)
+		}
+	}
+	if !g.HasEdge(1, 3) || g.HasEdge(1, 2) || g.HasEdge(2, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	g := Build(2, []Edge{{0, 0}, {0, 1}, {0, 0}})
+	n := 0
+	g.ScanNeighbors(0, func(int64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop scanned %d", n)
+	}
+}
+
+func TestBuildFromScanner(t *testing.T) {
+	g := BuildFromScanner(3, func(fn func(src, dst int64)) {
+		fn(2, 0)
+		fn(2, 1)
+		fn(0, 2)
+	})
+	if g.NumEdges() != 3 || g.Degree(2) != 2 {
+		t.Fatalf("E=%d deg2=%d", g.NumEdges(), g.Degree(2))
+	}
+}
+
+func TestDegreeSumEqualsEdgesProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const nv = 64
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{int64(raw[i] % nv), int64(raw[i+1] % nv)})
+		}
+		g := Build(nv, edges)
+		sum := 0
+		for v := int64(0); v < nv; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == len(edges) && g.NumEdges() == int64(len(edges))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := Build(0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	g2 := Build(5, nil)
+	if g2.Degree(3) != 0 {
+		t.Fatal("degree of edgeless vertex")
+	}
+}

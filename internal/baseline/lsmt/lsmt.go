@@ -1,0 +1,362 @@
+// Package lsmt implements a log-structured merge tree edge table — the
+// paper's stand-in for RocksDB (§2.1, §7.1). Writes go to a skip-list
+// memtable; when full, the memtable is frozen into an immutable sorted run,
+// and runs are merge-compacted when they pile up.
+//
+// Scan behaviour matches Table 1 and Figure 1: because an adjacency list
+// scan knows only the first half of the edge key (the source vertex), every
+// seek must position a cursor in the memtable *and in every run*, and every
+// scan step merges across those cursors — the "sequential with random"
+// pattern whose cost the paper measures.
+package lsmt
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is the composite edge key.
+type Key struct {
+	Src, Dst int64
+}
+
+// Less orders keys by (src, dst).
+func (k Key) Less(o Key) bool {
+	if k.Src != o.Src {
+		return k.Src < o.Src
+	}
+	return k.Dst < o.Dst
+}
+
+const (
+	maxHeight       = 12
+	defaultMemLimit = 1 << 14 // entries per memtable before flush
+	compactAtRuns   = 6       // merge all runs when this many accumulate
+)
+
+// skip-list memtable -----------------------------------------------------
+
+type skipNode struct {
+	key       Key
+	val       []byte
+	tombstone bool
+	next      [maxHeight]*skipNode
+}
+
+type memtable struct {
+	head  *skipNode
+	size  int
+	rng   *rand.Rand
+	level int
+}
+
+func newMemtable(seed int64) *memtable {
+	return &memtable{head: &skipNode{}, rng: rand.New(rand.NewSource(seed)), level: 1}
+}
+
+func (m *memtable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// put inserts or overwrites key.
+func (m *memtable) put(k Key, v []byte, tombstone bool) {
+	var update [maxHeight]*skipNode
+	n := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for n.next[i] != nil && n.next[i].key.Less(k) {
+			n = n.next[i]
+		}
+		update[i] = n
+	}
+	if nxt := n.next[0]; nxt != nil && nxt.key == k {
+		nxt.val = v
+		nxt.tombstone = tombstone
+		return
+	}
+	h := m.randomHeight()
+	for h > m.level {
+		update[m.level] = m.head
+		m.level++
+	}
+	nn := &skipNode{key: k, val: v, tombstone: tombstone}
+	for i := 0; i < h; i++ {
+		nn.next[i] = update[i].next[i]
+		update[i].next[i] = nn
+	}
+	m.size++
+}
+
+// seek returns the first node with key >= k.
+func (m *memtable) seek(k Key) *skipNode {
+	n := m.head
+	for i := m.level - 1; i >= 0; i-- {
+		for n.next[i] != nil && n.next[i].key.Less(k) {
+			n = n.next[i]
+		}
+	}
+	return n.next[0]
+}
+
+// get returns the node for k, if present.
+func (m *memtable) get(k Key) *skipNode {
+	n := m.seek(k)
+	if n != nil && n.key == k {
+		return n
+	}
+	return nil
+}
+
+// immutable sorted run ----------------------------------------------------
+
+type runEntry struct {
+	key       Key
+	val       []byte
+	tombstone bool
+}
+
+type sortedRun struct {
+	entries []runEntry
+}
+
+// seek returns the index of the first entry >= k.
+func (r *sortedRun) seek(k Key) int {
+	return sort.Search(len(r.entries), func(i int) bool {
+		return !r.entries[i].key.Less(k)
+	})
+}
+
+func (r *sortedRun) get(k Key) (runEntry, bool) {
+	i := r.seek(k)
+	if i < len(r.entries) && r.entries[i].key == k {
+		return r.entries[i], true
+	}
+	return runEntry{}, false
+}
+
+// Store is an LSM-tree EdgeStore.
+type Store struct {
+	mu       sync.RWMutex
+	mem      *memtable
+	runs     []*sortedRun // newest first
+	memLimit int
+	count    atomic.Int64
+	flushes  atomic.Int64
+	compacts atomic.Int64
+	seed     int64
+}
+
+// New creates an LSM store with the default memtable size.
+func New() *Store { return NewWithMemLimit(defaultMemLimit) }
+
+// NewWithMemLimit creates an LSM store flushing the memtable at limit
+// entries.
+func NewWithMemLimit(limit int) *Store {
+	return &Store{mem: newMemtable(1), memLimit: limit, seed: 1}
+}
+
+// Name implements baseline.EdgeStore.
+func (s *Store) Name() string { return "LSMT(RocksDB)" }
+
+// NumEdges implements baseline.EdgeStore.
+func (s *Store) NumEdges() int64 { return s.count.Load() }
+
+// Flushes reports memtable flushes (for write-amplification profiling).
+func (s *Store) Flushes() int64 { return s.flushes.Load() }
+
+// Compactions reports run merges.
+func (s *Store) Compactions() int64 { return s.compacts.Load() }
+
+// RunCount reports the current number of immutable sorted runs — the
+// number of places a seek must consult (used by the out-of-core paging
+// model).
+func (s *Store) RunCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.runs)
+}
+
+// AddEdge implements baseline.EdgeStore (upsert).
+func (s *Store) AddEdge(src, dst int64, props []byte) {
+	s.mu.Lock()
+	k := Key{src, dst}
+	_, existed := s.lookupLocked(k)
+	s.mem.put(k, append([]byte(nil), props...), false)
+	if !existed {
+		s.count.Add(1)
+	}
+	s.maybeFlushLocked()
+	s.mu.Unlock()
+}
+
+// DeleteEdge implements baseline.EdgeStore (tombstone write).
+func (s *Store) DeleteEdge(src, dst int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := Key{src, dst}
+	_, existed := s.lookupLocked(k)
+	if !existed {
+		return false
+	}
+	s.mem.put(k, nil, true)
+	s.count.Add(-1)
+	s.maybeFlushLocked()
+	return true
+}
+
+// lookupLocked consults memtable then runs newest-first.
+func (s *Store) lookupLocked(k Key) ([]byte, bool) {
+	if n := s.mem.get(k); n != nil {
+		if n.tombstone {
+			return nil, false
+		}
+		return n.val, true
+	}
+	for _, r := range s.runs {
+		if e, ok := r.get(k); ok {
+			if e.tombstone {
+				return nil, false
+			}
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+func (s *Store) maybeFlushLocked() {
+	if s.mem.size < s.memLimit {
+		return
+	}
+	// Freeze the memtable into a sorted run.
+	entries := make([]runEntry, 0, s.mem.size)
+	for n := s.mem.head.next[0]; n != nil; n = n.next[0] {
+		entries = append(entries, runEntry{key: n.key, val: n.val, tombstone: n.tombstone})
+	}
+	s.seed++
+	s.mem = newMemtable(s.seed)
+	s.runs = append([]*sortedRun{{entries: entries}}, s.runs...)
+	s.flushes.Add(1)
+	if len(s.runs) >= compactAtRuns {
+		s.compactLocked()
+	}
+}
+
+// compactLocked k-way merges all runs into one, dropping shadowed versions
+// and tombstones.
+func (s *Store) compactLocked() {
+	idx := make([]int, len(s.runs))
+	var out []runEntry
+	for {
+		best := -1
+		var bk Key
+		for ri, r := range s.runs {
+			if idx[ri] >= len(r.entries) {
+				continue
+			}
+			k := r.entries[idx[ri]].key
+			if best == -1 || k.Less(bk) {
+				best, bk = ri, k
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := s.runs[best].entries[idx[best]]
+		// Skip duplicates of this key in older runs (s.runs is newest
+		// first, so the first occurrence wins).
+		for ri := range s.runs {
+			if idx[ri] < len(s.runs[ri].entries) && s.runs[ri].entries[idx[ri]].key == bk {
+				idx[ri]++
+			}
+		}
+		if !e.tombstone {
+			out = append(out, e)
+		}
+	}
+	s.runs = []*sortedRun{{entries: out}}
+	s.compacts.Add(1)
+}
+
+// GetEdge implements baseline.EdgeStore.
+func (s *Store) GetEdge(src, dst int64) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lookupLocked(Key{src, dst})
+}
+
+// ScanNeighbors implements baseline.EdgeStore: a merging range scan that
+// positions one cursor per run plus the memtable — the multi-source seek
+// the paper identifies as LSMT's weakness.
+func (s *Store) ScanNeighbors(src int64, fn func(dst int64, props []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	start := Key{src, -1 << 62}
+
+	memCur := s.mem.seek(start)
+	runIdx := make([]int, len(s.runs))
+	for ri, r := range s.runs {
+		runIdx[ri] = r.seek(start)
+	}
+	var lastKey Key
+	hasLast := false
+	for {
+		// Find the smallest key >= start across all cursors.
+		best := -2 // -1 = memtable, >=0 = run index
+		var bk Key
+		if memCur != nil && memCur.key.Src == src {
+			best, bk = -1, memCur.key
+		}
+		for ri, r := range s.runs {
+			i := runIdx[ri]
+			if i >= len(r.entries) || r.entries[i].key.Src != src {
+				continue
+			}
+			if best == -2 || r.entries[i].key.Less(bk) {
+				best, bk = ri, r.entries[i].key
+			}
+		}
+		if best == -2 {
+			return
+		}
+		var val []byte
+		var tomb bool
+		if best == -1 {
+			val, tomb = memCur.val, memCur.tombstone
+		} else {
+			e := s.runs[best].entries[runIdx[best]]
+			val, tomb = e.val, e.tombstone
+		}
+		// Advance every cursor sitting on bk (newest source won above due
+		// to scan order: memtable first, then runs newest-first).
+		if memCur != nil && memCur.key == bk {
+			memCur = memCur.next[0]
+		}
+		for ri, r := range s.runs {
+			if runIdx[ri] < len(r.entries) && r.entries[runIdx[ri]].key == bk {
+				runIdx[ri]++
+			}
+		}
+		if hasLast && bk == lastKey {
+			continue
+		}
+		lastKey, hasLast = bk, true
+		if tomb {
+			continue
+		}
+		if !fn(bk.Dst, val) {
+			return
+		}
+	}
+}
+
+// Degree implements baseline.EdgeStore.
+func (s *Store) Degree(src int64) int {
+	d := 0
+	s.ScanNeighbors(src, func(int64, []byte) bool { d++; return true })
+	return d
+}

@@ -1,0 +1,174 @@
+package lsmt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlushAndCompactLifecycle(t *testing.T) {
+	s := NewWithMemLimit(16)
+	// 200 distinct edges with a 16-entry memtable forces many flushes and
+	// at least one compaction (compactAtRuns = 6).
+	for i := 0; i < 200; i++ {
+		s.AddEdge(int64(i%10), int64(i), []byte{byte(i)})
+	}
+	if s.Flushes() == 0 {
+		t.Fatal("no memtable flushes")
+	}
+	if s.Compactions() == 0 {
+		t.Fatal("no compactions")
+	}
+	if s.NumEdges() != 200 {
+		t.Fatalf("NumEdges %d", s.NumEdges())
+	}
+	// Everything still readable across memtable + runs.
+	for i := 0; i < 200; i++ {
+		v, ok := s.GetEdge(int64(i%10), int64(i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("GetEdge(%d,%d) = %v %v", i%10, i, v, ok)
+		}
+	}
+}
+
+func TestShadowingNewestWins(t *testing.T) {
+	s := NewWithMemLimit(4)
+	// Write v1, force it into a run, then overwrite.
+	s.AddEdge(1, 1, []byte("v1"))
+	for i := 0; i < 8; i++ {
+		s.AddEdge(9, int64(100+i), nil) // filler to trigger flush
+	}
+	s.AddEdge(1, 1, []byte("v2"))
+	if v, _ := s.GetEdge(1, 1); string(v) != "v2" {
+		t.Fatalf("got %q", v)
+	}
+	// Scan must also surface only the newest version, once.
+	seen := 0
+	s.ScanNeighbors(1, func(dst int64, v []byte) bool {
+		if dst == 1 {
+			seen++
+			if string(v) != "v2" {
+				t.Fatalf("scan surfaced %q", v)
+			}
+		}
+		return true
+	})
+	if seen != 1 {
+		t.Fatalf("edge surfaced %d times", seen)
+	}
+}
+
+func TestTombstoneHidesAcrossRuns(t *testing.T) {
+	s := NewWithMemLimit(4)
+	s.AddEdge(2, 5, []byte("x"))
+	for i := 0; i < 8; i++ {
+		s.AddEdge(9, int64(200+i), nil)
+	}
+	if !s.DeleteEdge(2, 5) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.GetEdge(2, 5); ok {
+		t.Fatal("tombstoned edge visible via get")
+	}
+	if d := s.Degree(2); d != 0 {
+		t.Fatalf("tombstoned edge visible via scan, degree %d", d)
+	}
+	// Compaction drops the tombstone.
+	for i := 0; i < 64; i++ {
+		s.AddEdge(9, int64(300+i), nil)
+	}
+	if _, ok := s.GetEdge(2, 5); ok {
+		t.Fatal("edge resurrected after compaction")
+	}
+}
+
+func TestMergeScanOrderedAndComplete(t *testing.T) {
+	s := NewWithMemLimit(8)
+	want := map[int64]bool{}
+	// Destinations spread across many flush generations.
+	for i := 0; i < 300; i++ {
+		dst := int64((i * 7) % 301)
+		s.AddEdge(4, dst, nil)
+		want[dst] = true
+	}
+	var got []int64
+	s.ScanNeighbors(4, func(dst int64, _ []byte) bool {
+		got = append(got, dst)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan %d edges, want %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("merge scan out of order at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+}
+
+func TestRunCount(t *testing.T) {
+	s := NewWithMemLimit(4)
+	if s.RunCount() != 0 {
+		t.Fatal("fresh store has runs")
+	}
+	for i := 0; i < 20; i++ {
+		s.AddEdge(0, int64(i), nil)
+	}
+	if s.RunCount() == 0 {
+		t.Fatal("no runs after spill")
+	}
+}
+
+func TestQuickRandomOpsAgainstMap(t *testing.T) {
+	f := func(ops []uint32) bool {
+		s := NewWithMemLimit(8) // tiny memtable: maximum run churn
+		model := map[Key][]byte{}
+		for _, op := range ops {
+			src := int64(op % 8)
+			dst := int64((op >> 3) % 32)
+			k := Key{src, dst}
+			if (op>>8)%4 == 0 {
+				got := s.DeleteEdge(src, dst)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := []byte{byte(op)}
+				s.AddEdge(src, dst, v)
+				model[k] = v
+			}
+		}
+		if int(s.NumEdges()) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := s.GetEdge(k.Src, k.Dst)
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLSMTInsert(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.AddEdge(int64(i%1024), int64(i), nil)
+	}
+}
+
+func BenchmarkLSMTSeekMultiRun(b *testing.B) {
+	s := NewWithMemLimit(1024)
+	for i := 0; i < 1<<15; i++ {
+		s.AddEdge(int64(i%512), int64(i), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScanNeighbors(int64(i%512), func(int64, []byte) bool { return false })
+	}
+}

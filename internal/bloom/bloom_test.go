@@ -1,0 +1,138 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsFor(t *testing.T) {
+	cases := []struct{ total, want int }{
+		{8, 0},    // 64 B block: no filter
+		{32, 0},   // 256 B block: no filter (paper: filters for blocks > 256 B)
+		{64, 8},   // 512 B block: 64/16=4 words, rounded up to one cache line
+		{128, 8},  // 1 KiB block: 128/16=8
+		{256, 16}, // 2 KiB: 16
+		{4096, 256},
+	}
+	for _, c := range cases {
+		if got := WordsFor(c.total); got != c.want {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	words := make([]int64, 64)
+	f := View(words)
+	keys := make([]uint64, 200)
+	rng := rand.New(rand.NewSource(1))
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for key %d", k)
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		words := make([]int64, 32)
+		flt := View(words)
+		for _, k := range keys {
+			flt.Add(k)
+		}
+		for _, k := range keys {
+			if !flt.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFilterAlwaysMaybe(t *testing.T) {
+	f := View(nil)
+	if !f.Empty() {
+		t.Fatal("nil-backed filter should be empty")
+	}
+	if !f.MayContain(123) {
+		t.Fatal("empty filter must answer maybe (true)")
+	}
+	f.Add(123) // must not panic
+}
+
+func TestShortRegionDegrades(t *testing.T) {
+	f := View(make([]int64, 5)) // less than one block
+	if !f.Empty() {
+		t.Fatal("sub-block region should degrade to empty filter")
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	// 512 words = 4 KiB filter, 500 keys => load well under capacity.
+	words := make([]int64, 512)
+	f := View(words)
+	rng := rand.New(rand.NewSource(7))
+	present := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		k := rng.Uint64()
+		present[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	trials := 20000
+	for i := 0; i < trials; i++ {
+		k := rng.Uint64()
+		if present[k] {
+			continue
+		}
+		if f.MayContain(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(trials)
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestReset(t *testing.T) {
+	words := make([]int64, 32)
+	f := View(words)
+	for i := uint64(0); i < 100; i++ {
+		f.Add(i)
+	}
+	f.Reset()
+	// After reset a never-added key should (almost surely) be absent; check
+	// that all bits are actually zero, which guarantees it.
+	for i, w := range words {
+		if w != 0 {
+			t.Fatalf("word %d not cleared", i)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := View(make([]int64, 256))
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := View(make([]int64, 256))
+	for i := 0; i < 1000; i++ {
+		f.Add(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(uint64(i))
+	}
+}

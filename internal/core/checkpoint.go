@@ -1,0 +1,282 @@
+package core
+
+// Checkpointing (paper §6, "Recovery"): a checkpointer periodically persists
+// the latest consistent snapshot using a read-only transaction and prunes
+// WAL entries written before the snapshot's epoch. On failure, recovery
+// loads the latest checkpoint and replays the remaining WAL.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"livegraph/internal/wal"
+)
+
+var ckptMagic = []byte("LGCKPT1\n")
+
+// Checkpoint dumps the latest consistent snapshot to a checkpoint file in
+// the graph's directory, records it as the recovery root, and prunes WAL
+// segments it supersedes. The dump runs concurrently with foreground
+// transactions (it holds only a snapshot); only the WAL segment rotation is
+// a brief quiescent point.
+func (g *Graph) Checkpoint() error {
+	if g.opts.Dir == "" {
+		return fmt.Errorf("livegraph: checkpoint requires a durable graph (Options.Dir)")
+	}
+	// Rotate the WAL under the committer's batch mutex: at that point no
+	// commit group is in flight, so GRE == GWE and every record in the old
+	// segments has epoch <= E.
+	g.commit.mu.Lock()
+	epoch := g.epochs.ReadEpoch()
+	oldSegs, err := g.rotateWALLocked()
+	if err != nil {
+		g.commit.mu.Unlock()
+		return err
+	}
+	snap, err := g.Snapshot()
+	if err != nil {
+		g.commit.mu.Unlock()
+		return err
+	}
+	g.commit.mu.Unlock()
+	defer snap.Release()
+
+	path := filepath.Join(g.opts.Dir, fmt.Sprintf("ckpt-%d.snap", epoch))
+	if err := g.writeCheckpoint(path, epoch, snap); err != nil {
+		return err
+	}
+	if err := wal.WriteCheckpointMeta(g.opts.Dir, wal.CheckpointMeta{Epoch: epoch, Path: filepath.Base(path)}); err != nil {
+		return err
+	}
+	// Prune superseded segments and older checkpoints.
+	for _, s := range oldSegs {
+		os.Remove(s)
+	}
+	g.pruneOldCheckpoints(path)
+	return nil
+}
+
+func (g *Graph) pruneOldCheckpoints(keep string) {
+	matches, _ := filepath.Glob(filepath.Join(g.opts.Dir, "ckpt-*.snap"))
+	for _, m := range matches {
+		if m != keep {
+			os.Remove(m)
+		}
+	}
+}
+
+// rotateWALLocked closes the current WAL segment and opens the next one.
+// Caller holds the committer mutex. Returns the paths of all prior
+// segments.
+func (g *Graph) rotateWALLocked() ([]string, error) {
+	if err := g.log.Close(); err != nil {
+		return nil, err
+	}
+	old, err := filepath.Glob(filepath.Join(g.opts.Dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	g.walSeq++
+	l, err := wal.Open(g.walPath(g.walSeq), g.opts.Device)
+	if err != nil {
+		return nil, err
+	}
+	g.log = l
+	return old, nil
+}
+
+func (g *Graph) walPath(seq int) string {
+	return filepath.Join(g.opts.Dir, fmt.Sprintf("wal-%06d.log", seq))
+}
+
+// writeCheckpoint streams the snapshot to path. Format:
+//
+//	magic, epoch, nextVertexID,
+//	then per existing vertex: id, flags, data, numLabels,
+//	  per label: label, numEdges, per edge: dst, propLen, props
+//	terminated by id = -1.
+func (g *Graph) writeCheckpoint(path string, epoch int64, snap *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	w.Write(ckptMagic)
+	var scratch [binary.MaxVarintLen64]byte
+	putV := func(x int64) {
+		n := binary.PutVarint(scratch[:], x)
+		w.Write(scratch[:n])
+	}
+	putV(epoch)
+	nv := snap.NumVertices()
+	putV(nv)
+	written := int64(len(ckptMagic))
+	for v := int64(0); v < nv; v++ {
+		data, ok := snap.VertexData(VertexID(v))
+		ll := g.eindex.Get(v)
+		if !ok && ll == nil {
+			continue
+		}
+		putV(v)
+		flags := int64(0)
+		if !ok {
+			flags |= 1 // deleted / absent payload
+		}
+		putV(flags)
+		putV(int64(len(data)))
+		w.Write(data)
+		var labels []*labelEntry
+		if ll != nil {
+			if ls := ll.entries.Load(); ls != nil {
+				labels = *ls
+			}
+		}
+		putV(int64(len(labels)))
+		for _, e := range labels {
+			putV(int64(e.label))
+			// Two passes: count, then dump (stream-friendly).
+			cnt := snap.Degree(VertexID(v), e.label)
+			putV(int64(cnt))
+			snap.ScanNeighbors(VertexID(v), e.label, func(dst VertexID, props []byte) bool {
+				putV(int64(dst))
+				putV(int64(len(props)))
+				w.Write(props)
+				return true
+			})
+		}
+	}
+	putV(-1)
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if st, err := f.Stat(); err == nil {
+		written = st.Size()
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if g.opts.Device != nil {
+		g.opts.Device.Write(int(written))
+		g.opts.Device.Sync()
+	}
+	return f.Close()
+}
+
+// loadCheckpoint rebuilds graph state from a checkpoint file, stamping
+// every version with the checkpoint epoch.
+func (g *Graph) loadCheckpoint(path string, epoch int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := readFull(r, magic); err != nil || string(magic) != string(ckptMagic) {
+		return fmt.Errorf("livegraph: bad checkpoint magic in %s", path)
+	}
+	getV := func() (int64, error) { return binary.ReadVarint(r) }
+	fileEpoch, err := getV()
+	if err != nil {
+		return err
+	}
+	if fileEpoch != epoch {
+		return fmt.Errorf("livegraph: checkpoint epoch mismatch: meta %d, file %d", epoch, fileEpoch)
+	}
+	nv, err := getV()
+	if err != nil {
+		return err
+	}
+	g.nextVertex.Store(nv)
+	h := g.alloc.NewHandle()
+	for {
+		v, err := getV()
+		if err != nil {
+			return fmt.Errorf("livegraph: checkpoint truncated: %w", err)
+		}
+		if v < 0 {
+			return nil
+		}
+		flags, err := getV()
+		if err != nil {
+			return err
+		}
+		dl, err := getV()
+		if err != nil {
+			return err
+		}
+		data := make([]byte, dl)
+		if _, err := readFull(r, data); err != nil {
+			return err
+		}
+		if flags&1 == 0 {
+			g.vindex.Set(v, &vertexVersion{ts: epoch, data: data})
+		}
+		nl, err := getV()
+		if err != nil {
+			return err
+		}
+		for li := int64(0); li < nl; li++ {
+			label, err := getV()
+			if err != nil {
+				return err
+			}
+			ne, err := getV()
+			if err != nil {
+				return err
+			}
+			for ei := int64(0); ei < ne; ei++ {
+				dst, err := getV()
+				if err != nil {
+					return err
+				}
+				pl, err := getV()
+				if err != nil {
+					return err
+				}
+				props := make([]byte, pl)
+				if _, err := readFull(r, props); err != nil {
+					return err
+				}
+				g.replayEdge(h, opInsertEdge, VertexID(v), Label(label), VertexID(dst), props, epoch)
+			}
+		}
+	}
+}
+
+func readFull(r *bufio.Reader, b []byte) (int, error) {
+	n := 0
+	for n < len(b) {
+		m, err := r.Read(b[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// sortedWALSegments lists this graph's WAL segment paths in replay order
+// and returns the highest sequence number seen.
+func sortedWALSegments(dir string) ([]string, int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, 0, err
+	}
+	sort.Strings(matches)
+	maxSeq := 0
+	for _, m := range matches {
+		var seq int
+		fmt.Sscanf(filepath.Base(m), "wal-%06d.log", &seq)
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	return matches, maxSeq, nil
+}

@@ -1,0 +1,142 @@
+package core
+
+// The committer is the paper's transaction manager (§5): it forms commit
+// groups, advances the global write epoch GWE, persists the group's
+// write-ahead-log records with one fsync (group commit), applies each
+// member transaction (publish CT/LS, publish vertex versions, flip -TID
+// timestamps to TWE, release locks) and finally advances the global read
+// epoch GRE, exposing the group's updates to future transactions.
+//
+// Group formation uses the leader/follower pattern: a committing
+// transaction enqueues itself and competes for the leader lock; the winner
+// drains the queue and commits the whole batch, so an uncontended commit
+// runs inline with no goroutine handoff while concurrent commits amortise
+// one fsync across the group.
+
+import "sync"
+
+type committer struct {
+	g *Graph
+
+	mu sync.Mutex // leader lock; Checkpoint acquires it for a quiescent point
+
+	qmu   sync.Mutex
+	queue []*Tx
+}
+
+func newCommitter(g *Graph) *committer {
+	return &committer{g: g}
+}
+
+// stop is a no-op retained for symmetry with Close; leader/follower commit
+// has no background goroutine to stop. Queued transactions always have a
+// committing goroutine driving them.
+func (c *committer) stop() {}
+
+// submit enqueues tx and returns once some leader has committed it. The
+// result arrives on tx.commitRes.
+func (c *committer) submit(tx *Tx) {
+	c.qmu.Lock()
+	c.queue = append(c.queue, tx)
+	c.qmu.Unlock()
+
+	// Compete for leadership. Whoever wins drains and commits everything
+	// queued — possibly including transactions enqueued by goroutines that
+	// are still waiting for the lock; they will find their result ready.
+	// The group size is naturally bounded by the number of worker slots,
+	// so the leader drains the whole queue (every drained transaction's
+	// goroutine finds its result ready when it gets the lock).
+	c.mu.Lock()
+	c.qmu.Lock()
+	batch := c.queue
+	c.queue = nil
+	c.qmu.Unlock()
+	if len(batch) > 0 {
+		c.commitGroup(batch)
+	}
+	c.mu.Unlock()
+}
+
+func (c *committer) commitGroup(batch []*Tx) {
+	g := c.g
+
+	// Persist phase: advance GWE, append the group's records, one fsync.
+	twe := g.epochs.AdvanceWrite()
+	if g.log != nil {
+		recs := make([][]byte, 0, len(batch))
+		for _, tx := range batch {
+			if len(tx.walBuf) > 0 {
+				recs = append(recs, tx.walBuf)
+			}
+		}
+		if err := g.log.AppendGroup(twe, recs); err != nil {
+			// Durability failed: the group must not become visible.
+			for _, tx := range batch {
+				tx.revert()
+				tx.unlockAll()
+				tx.commitRes <- err
+			}
+			return
+		}
+	}
+
+	// Apply phase, per member: publish tails and vertex versions, flip
+	// private timestamps, release locks.
+	for _, tx := range batch {
+		c.apply(tx, twe)
+	}
+
+	// The whole group has applied: expose it to future transactions.
+	g.epochs.PublishRead(twe)
+	for _, tx := range batch {
+		tx.commitRes <- nil
+	}
+}
+
+func (c *committer) apply(tx *Tx, twe int64) {
+	g := c.g
+	// Publish each modified TEL's commit timestamp and tail (atomic LS
+	// store is the release point readers synchronise on).
+	for _, w := range tx.telWrites {
+		if w.dirty() {
+			w.cur.Publish(w.n, w.propLen, twe)
+		}
+	}
+	// Publish vertex versions (copy-on-write chain push).
+	for v, wv := range tx.vWrites {
+		prev := g.vindex.Get(int64(v))
+		g.vindex.Set(int64(v), &vertexVersion{ts: twe, data: wv.data, deleted: wv.deleted, prev: prev})
+		g.markDirty(v)
+	}
+	// Flip private timestamps to TWE. The paper releases locks before this
+	// conversion; we flip first and release after, because compaction may
+	// otherwise grab the vertex lock mid-flip, relocate the TEL, and strand
+	// the -TID entries in the superseded block. Flips are a handful of
+	// atomic stores, so the extra hold time is negligible.
+	for _, w := range tx.telWrites {
+		for _, i := range w.appended {
+			w.cur.SetCreation(i, twe)
+		}
+		for _, i := range w.invalidated {
+			w.cur.SetInvalidation(i, twe)
+		}
+	}
+	tx.unlockAll()
+}
+
+// noteWriteCommitted ticks the compaction trigger (paper: a compaction task
+// every CompactEvery transactions).
+func (g *Graph) noteWriteCommitted() {
+	if g.opts.CompactEvery < 0 {
+		return
+	}
+	n := g.writeTxns.Add(1)
+	if n%int64(g.opts.CompactEvery) == 0 {
+		if g.compacting.TryLock() {
+			go func() {
+				defer g.compacting.Unlock()
+				g.compactOnce()
+			}()
+		}
+	}
+}

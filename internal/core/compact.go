@@ -1,0 +1,113 @@
+package core
+
+import (
+	"livegraph/internal/storage"
+	"livegraph/internal/tel"
+)
+
+// Compaction (paper §6): TELs accumulate invalidated entries; periodically a
+// compaction pass walks the dirty vertex set, copies the entries still
+// visible to some ongoing or future transaction into a right-sized block,
+// swaps the index pointer, and defer-frees the old block. Vertex version
+// chains are pruned the same way. Compaction is vertex-wise and holds only
+// one vertex lock at a time, so interference with the foreground workload
+// is minimal — unlike an LSM tree, no multi-file merge ever runs.
+
+// CompactNow runs one synchronous compaction pass (tests and benchmarks
+// call this; production passes are triggered automatically every
+// CompactEvery committed write transactions).
+func (g *Graph) CompactNow() {
+	g.compacting.Lock()
+	defer g.compacting.Unlock()
+	g.compactOnce()
+}
+
+func (g *Graph) compactOnce() {
+	// Swap out the dirty set.
+	g.dirtyMu.Lock()
+	dirty := g.dirty
+	g.dirty = make(map[VertexID]struct{})
+	g.dirtyMu.Unlock()
+
+	// visibleFloor: every ongoing transaction reads at >= MinActive and
+	// every future one at >= GRE, so a version invalidated at or before the
+	// floor is dead for everyone. HistoryRetention lowers the floor so
+	// temporal snapshots (SnapshotAt) can still read recent history.
+	floor := g.readers.MinActive(g.epochs.ReadEpoch()) - g.opts.HistoryRetention
+	h := g.alloc.NewHandle()
+
+	for v := range dirty {
+		g.locks.Lock(uint64(v))
+		g.compactTELsLocked(v, floor, h)
+		g.pruneVertexChainLocked(v, floor)
+		g.locks.Unlock(uint64(v))
+	}
+	if len(dirty) > 0 {
+		g.stats.Compactions.Add(1)
+	}
+	g.alloc.Reclaim(g.readers.MinActive(g.epochs.ReadEpoch()))
+}
+
+// deadEntry reports whether entry i of t is invisible to every transaction
+// reading at or above floor: committed entries invalidated at or before the
+// floor. Private (-TID) timestamps cannot occur here because the vertex
+// lock excludes writers.
+func deadEntry(t *tel.TEL, i int, floor int64) bool {
+	inv := t.Invalidation(i)
+	return inv >= 0 && inv <= floor
+}
+
+func (g *Graph) compactTELsLocked(v VertexID, floor int64, h *storage.Handle) {
+	ll := g.eindex.Get(int64(v))
+	if ll == nil {
+		return
+	}
+	entries := ll.entries.Load()
+	if entries == nil {
+		return
+	}
+	for _, e := range *entries {
+		t := e.tel.Load()
+		n := t.Len()
+		// First scan: count survivors and their property bytes.
+		live, liveProps := 0, 0
+		for i := 0; i < n; i++ {
+			if !deadEntry(t, i, floor) {
+				live++
+				liveProps += len(t.Props(i))
+			}
+		}
+		if live == n {
+			continue // nothing to reclaim
+		}
+		// Copy survivors into a right-sized block (possibly smaller — the
+		// paper: "sometimes the block could shrink after many edges being
+		// deleted").
+		nt := tel.New(h, t.Src(), t.Label(), max(live, 1), max(liveProps, 1))
+		ni, npl := 0, 0
+		for i := 0; i < n; i++ {
+			if deadEntry(t, i, floor) {
+				continue
+			}
+			npl = nt.CompactAppend(t, i, ni, npl)
+			ni++
+		}
+		nt.Publish(ni, npl, t.CommitTS())
+		e.tel.Store(nt)
+		h.DeferFree(t.Block, g.epochs.WriteEpoch())
+		g.forgetBlock(t)
+	}
+}
+
+// pruneVertexChainLocked drops vertex versions no transaction can still
+// see: everything older than the newest version with ts <= floor.
+func (g *Graph) pruneVertexChainLocked(v VertexID, floor int64) {
+	ver := g.vindex.Get(int64(v))
+	for ver != nil {
+		if ver.ts <= floor {
+			ver.prev = nil
+			return
+		}
+		ver = ver.prev
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+// WAL record encoding: one record per transaction, a flat sequence of ops.
+// Varint-encoded for compactness; the format is internal to this package
+// (recovery decodes it in replay.go).
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	opAddVertex byte = iota + 1
+	opPutVertex
+	opDelVertex
+	opInsertEdge
+	opUpsertEdge
+	opDeleteEdge
+)
+
+func appendVertexOp(buf []byte, op byte, v VertexID, data []byte) []byte {
+	buf = append(buf, op)
+	buf = binary.AppendVarint(buf, int64(v))
+	buf = binary.AppendVarint(buf, int64(len(data)))
+	return append(buf, data...)
+}
+
+func appendEdgeOp(buf []byte, op byte, src VertexID, label Label, dst VertexID, props []byte) []byte {
+	buf = append(buf, op)
+	buf = binary.AppendVarint(buf, int64(src))
+	buf = binary.AppendVarint(buf, int64(label))
+	buf = binary.AppendVarint(buf, int64(dst))
+	buf = binary.AppendVarint(buf, int64(len(props)))
+	return append(buf, props...)
+}
+
+// walOp is a decoded WAL operation.
+type walOp struct {
+	op    byte
+	v     VertexID // vertex ops: the vertex; edge ops: the source
+	label Label
+	dst   VertexID
+	data  []byte
+}
+
+// decodeOps parses a transaction record.
+func decodeOps(rec []byte) ([]walOp, error) {
+	var ops []walOp
+	for len(rec) > 0 {
+		op := rec[0]
+		rec = rec[1:]
+		switch op {
+		case opAddVertex, opPutVertex, opDelVertex:
+			v, n := binary.Varint(rec)
+			if n <= 0 {
+				return nil, fmt.Errorf("livegraph: wal record corrupt (vertex id)")
+			}
+			rec = rec[n:]
+			dl, n := binary.Varint(rec)
+			if n <= 0 || dl < 0 || int(dl) > len(rec)-n {
+				return nil, fmt.Errorf("livegraph: wal record corrupt (vertex data)")
+			}
+			rec = rec[n:]
+			ops = append(ops, walOp{op: op, v: VertexID(v), data: rec[:dl]})
+			rec = rec[dl:]
+		case opInsertEdge, opUpsertEdge, opDeleteEdge:
+			src, n := binary.Varint(rec)
+			if n <= 0 {
+				return nil, fmt.Errorf("livegraph: wal record corrupt (edge src)")
+			}
+			rec = rec[n:]
+			label, n := binary.Varint(rec)
+			if n <= 0 {
+				return nil, fmt.Errorf("livegraph: wal record corrupt (edge label)")
+			}
+			rec = rec[n:]
+			dst, n := binary.Varint(rec)
+			if n <= 0 {
+				return nil, fmt.Errorf("livegraph: wal record corrupt (edge dst)")
+			}
+			rec = rec[n:]
+			pl, n := binary.Varint(rec)
+			if n <= 0 || pl < 0 || int(pl) > len(rec)-n {
+				return nil, fmt.Errorf("livegraph: wal record corrupt (edge props)")
+			}
+			rec = rec[n:]
+			ops = append(ops, walOp{op: op, v: VertexID(src), label: Label(label), dst: VertexID(dst), data: rec[:pl]})
+			rec = rec[pl:]
+		default:
+			return nil, fmt.Errorf("livegraph: wal record corrupt (op %d)", op)
+		}
+	}
+	return ops, nil
+}

@@ -1,0 +1,38 @@
+package core
+
+import "errors"
+
+var (
+	// ErrConflict is returned when a transaction tries to modify a vertex or
+	// adjacency list that another transaction committed to after this
+	// transaction's snapshot was taken (first-committer-wins under snapshot
+	// isolation). The transaction has been aborted; retry it.
+	ErrConflict = errors.New("livegraph: write-write conflict, transaction aborted")
+
+	// ErrLockTimeout is returned when a vertex lock could not be acquired
+	// before the deadline — the paper's deadlock-avoidance mechanism. The
+	// transaction has been aborted; retry it.
+	ErrLockTimeout = errors.New("livegraph: lock timeout, transaction aborted")
+
+	// ErrTxDone is returned when operating on a committed or aborted
+	// transaction.
+	ErrTxDone = errors.New("livegraph: transaction already finished")
+
+	// ErrReadOnly is returned when a write operation is attempted on a
+	// read-only transaction.
+	ErrReadOnly = errors.New("livegraph: read-only transaction")
+
+	// ErrNotFound is returned when a referenced vertex or edge does not
+	// exist in the transaction's snapshot.
+	ErrNotFound = errors.New("livegraph: not found")
+
+	// ErrClosed is returned when the graph has been closed.
+	ErrClosed = errors.New("livegraph: graph closed")
+)
+
+// IsRetryable reports whether err indicates a transient abort (conflict or
+// lock timeout) that callers should respond to by re-running the
+// transaction.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrConflict) || errors.Is(err, ErrLockTimeout)
+}

@@ -1,0 +1,321 @@
+// Package core implements the LiveGraph storage engine (paper §3–§6): the
+// 2-D data layout (vertex blocks + per-vertex, per-label Transactional Edge
+// Logs), the MVCC transaction protocol with group commit, compaction, and
+// durability.
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livegraph/internal/iosim"
+	"livegraph/internal/mvcc"
+	"livegraph/internal/storage"
+	"livegraph/internal/tel"
+	"livegraph/internal/wal"
+)
+
+// VertexID identifies a vertex. IDs are dense and grow contiguously from 0,
+// which is what makes the array-based vertex/edge indices possible.
+type VertexID int64
+
+// Label identifies an edge label. Edges incident to the same vertex are
+// grouped into one adjacency list (TEL) per label.
+type Label int64
+
+// Options configures a Graph.
+type Options struct {
+	// Dir enables durability: the WAL and checkpoints live here. Empty
+	// means a volatile, in-memory graph (no WAL writes at commit).
+	Dir string
+
+	// Device models the persistence hardware (Optane/NAND profiles). Nil
+	// selects the instantaneous Null device.
+	Device *iosim.Device
+
+	// Workers sizes the reading-epoch table and bounds the number of
+	// goroutines that may run transactions concurrently with dedicated
+	// worker slots. Defaults to 64.
+	Workers int
+
+	// CompactEvery triggers a compaction pass after this many committed
+	// write transactions. Defaults to 65536, the paper's setting.
+	// Negative disables compaction.
+	CompactEvery int
+
+	// LockTimeout bounds vertex lock waits; timing out aborts the
+	// transaction (deadlock avoidance). Defaults to 50ms.
+	LockTimeout time.Duration
+
+	// PageCache, when non-nil, simulates out-of-core execution: every
+	// block access is charged through the cache.
+	PageCache *iosim.PageCache
+
+	// SmallClassMax is the allocator's per-thread free-list threshold m.
+	// Zero selects the default.
+	SmallClassMax int
+
+	// MaxGroupCommit caps how many transactions one WAL fsync may cover.
+	// Defaults to 256.
+	MaxGroupCommit int
+
+	// HistoryRetention keeps invalidated versions readable for this many
+	// epochs behind the current read epoch, enabling temporal queries via
+	// SnapshotAt (the paper's §9 future-work direction: "the
+	// multi-versioning nature of TELs makes it natural to support temporal
+	// graph processing, with modifications to the compaction algorithm").
+	// Zero retains only what in-flight transactions need.
+	HistoryRetention int64
+}
+
+func (o *Options) fill() {
+	if o.Device == nil {
+		o.Device = iosim.NewDevice(iosim.Null)
+	}
+	if o.Workers <= 0 {
+		o.Workers = 64
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 65536
+	}
+	if o.LockTimeout <= 0 {
+		o.LockTimeout = 50 * time.Millisecond
+	}
+	if o.MaxGroupCommit <= 0 {
+		o.MaxGroupCommit = 256
+	}
+}
+
+// vertexVersion is one copy-on-write version of a vertex (paper §3,
+// "Vertices"): the newest version is reachable from the vertex index and
+// each version points at its predecessor.
+type vertexVersion struct {
+	ts      int64 // commit timestamp
+	data    []byte
+	deleted bool
+	prev    *vertexVersion
+}
+
+// labelEntry holds the current TEL for one (vertex, label) pair — the
+// paper's label index block slot. The TEL pointer is swapped atomically on
+// block upgrade and compaction.
+type labelEntry struct {
+	label Label
+	tel   atomic.Pointer[tel.TEL]
+}
+
+// labelList is the per-vertex label index block: a copy-on-write slice of
+// label entries. Mutations happen under the vertex lock; readers load the
+// slice pointer atomically.
+type labelList struct {
+	entries atomic.Pointer[[]*labelEntry]
+}
+
+func (ll *labelList) find(label Label) *labelEntry {
+	ls := ll.entries.Load()
+	if ls == nil {
+		return nil
+	}
+	for _, e := range *ls {
+		if e.label == label {
+			return e
+		}
+	}
+	return nil
+}
+
+// addLocked appends a new label entry; caller holds the vertex lock.
+func (ll *labelList) addLocked(e *labelEntry) {
+	old := ll.entries.Load()
+	var grown []*labelEntry
+	if old != nil {
+		grown = append(grown, *old...)
+	}
+	grown = append(grown, e)
+	ll.entries.Store(&grown)
+}
+
+// Graph is a LiveGraph storage engine instance.
+type Graph struct {
+	opts  Options
+	alloc *storage.Allocator
+
+	epochs  mvcc.Epochs
+	tids    mvcc.TIDs
+	readers *mvcc.ReaderTable
+	locks   *mvcc.LockTable
+
+	vindex     chunkedIndex[vertexVersion]
+	eindex     chunkedIndex[labelList]
+	nextVertex atomic.Int64
+
+	slots  chan int // pool of worker slots (reader-table indices)
+	commit *committer
+	log    *wal.Log
+	walSeq int
+
+	handleMu sync.Mutex
+	handles  []*storage.Handle // one pooled allocation handle per slot
+
+	// compaction
+	writeTxns  atomic.Int64
+	dirtyMu    sync.Mutex
+	dirty      map[VertexID]struct{}
+	compacting sync.Mutex
+
+	stats  GraphStats
+	closed atomic.Bool
+}
+
+// GraphStats aggregates engine counters.
+type GraphStats struct {
+	Commits     atomic.Int64
+	Aborts      atomic.Int64
+	Compactions atomic.Int64
+	Upgrades    atomic.Int64
+	BloomSkips  atomic.Int64 // insertions that skipped the previous-version scan
+	BloomScans  atomic.Int64 // edge writes that had to scan
+}
+
+// Open creates or recovers a Graph.
+func Open(opts Options) (*Graph, error) {
+	opts.fill()
+	g := &Graph{
+		opts:    opts,
+		alloc:   storage.NewAllocator(opts.SmallClassMax),
+		readers: mvcc.NewReaderTable(opts.Workers),
+		locks:   mvcc.NewLockTable(1 << 16),
+		dirty:   make(map[VertexID]struct{}),
+	}
+	g.slots = make(chan int, opts.Workers)
+	g.handles = make([]*storage.Handle, opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		g.slots <- i
+		g.handles[i] = g.alloc.NewHandle()
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("livegraph: %w", err)
+		}
+		if err := g.recover(); err != nil {
+			return nil, err
+		}
+		g.walSeq++
+		l, err := wal.Open(g.walPath(g.walSeq), opts.Device)
+		if err != nil {
+			return nil, err
+		}
+		g.log = l
+	}
+	g.commit = newCommitter(g)
+	return g, nil
+}
+
+// Close shuts the graph down. Outstanding transactions must be finished.
+func (g *Graph) Close() error {
+	if g.closed.Swap(true) {
+		return nil
+	}
+	g.commit.stop()
+	if g.log != nil {
+		return g.log.Close()
+	}
+	return nil
+}
+
+// NumVertices returns the number of vertex IDs ever allocated (including
+// deleted ones).
+func (g *Graph) NumVertices() int64 { return g.nextVertex.Load() }
+
+// ReadEpoch returns the current global read epoch (GRE).
+func (g *Graph) ReadEpoch() int64 { return g.epochs.ReadEpoch() }
+
+// Stats returns a live view of engine counters.
+func (g *Graph) Stats() *GraphStats { return &g.stats }
+
+// AllocStats returns block-allocator statistics (block counts per size
+// class — Figure 7b, memory footprint — §7.2).
+func (g *Graph) AllocStats() storage.Stats { return g.alloc.Stats() }
+
+// The out-of-core simulation charges accesses at 4KB-page granularity,
+// mirroring how the paper's mmap-backed store faults: a block is a run of
+// pages keyed (block ID, page index); a newest-first partial scan of a hot
+// vertex touches only its tail pages, which stay resident.
+
+const pageBytes = 4096
+
+// touch charges the page cache for a seek into the TEL (its header page
+// and the tail page where the newest entries live).
+func (g *Graph) touch(t *tel.TEL) {
+	if g.opts.PageCache == nil || t == nil {
+		return
+	}
+	first := t.FirstPage()
+	g.touchPage(t, first)
+	n := t.Len()
+	if n > 0 {
+		if tail := t.EntryPage(n - 1); tail != first {
+			g.touchPage(t, tail)
+		}
+	}
+}
+
+// touchPage charges one global arena page.
+func (g *Graph) touchPage(_ *tel.TEL, page int64) {
+	g.opts.PageCache.Touch(uint64(page), pageBytes)
+}
+
+// forgetBlock drops a freed block's pages from the resident set. Pages
+// shared with neighboring small blocks may be dropped too; that only
+// costs an extra fault on their next access.
+func (g *Graph) forgetBlock(t *tel.TEL) {
+	if g.opts.PageCache == nil {
+		return
+	}
+	for p := t.FirstPage(); p <= t.LastPage(); p++ {
+		g.opts.PageCache.Forget(uint64(p))
+	}
+}
+
+// markDirty records that a vertex's blocks changed since the last
+// compaction (the paper's per-worker dirty vertex set; we keep one shared
+// set, which compaction swaps out wholesale).
+func (g *Graph) markDirty(v VertexID) {
+	g.dirtyMu.Lock()
+	g.dirty[v] = struct{}{}
+	g.dirtyMu.Unlock()
+}
+
+// acquireSlot blocks until a worker slot is free. Slots bound concurrent
+// transactions to the reader-table size.
+func (g *Graph) acquireSlot() int { return <-g.slots }
+
+func (g *Graph) releaseSlot(s int) { g.slots <- s }
+
+// latestVertex walks the version chain for v and returns the newest version
+// with ts <= tre (paper §4, vertex reads). Buffered writes of the calling
+// transaction are handled by the Tx layer.
+func (g *Graph) latestVertex(v VertexID, tre int64) *vertexVersion {
+	for ver := g.vindex.Get(int64(v)); ver != nil; ver = ver.prev {
+		if ver.ts <= tre {
+			return ver
+		}
+	}
+	return nil
+}
+
+// telFor returns the current TEL for (v, label), or nil.
+func (g *Graph) telFor(v VertexID, label Label) *tel.TEL {
+	ll := g.eindex.Get(int64(v))
+	if ll == nil {
+		return nil
+	}
+	e := ll.find(label)
+	if e == nil {
+		return nil
+	}
+	return e.tel.Load()
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Snapshot is a pinned, consistent read-only view of the graph at one read
+// epoch — what real-time analytics run on (paper §1/§7.4: iterative
+// analytics "directly on the latest snapshot", no ETL). It pins its epoch
+// in the reading-epoch table so compaction will not reclaim versions it can
+// still see. Release it when done.
+//
+// A Snapshot is safe for concurrent use by multiple goroutines (unlike Tx),
+// which is what parallel analytics kernels need.
+type Snapshot struct {
+	g        *Graph
+	tre      int64
+	slot     int
+	released atomic.Bool
+}
+
+// Snapshot pins the latest committed state.
+func (g *Graph) Snapshot() (*Snapshot, error) {
+	if g.closed.Load() {
+		return nil, ErrClosed
+	}
+	slot := g.acquireSlot()
+	tre := g.epochs.ReadEpoch()
+	g.readers.Enter(slot, tre)
+	return &Snapshot{g: g, tre: tre, slot: slot}, nil
+}
+
+// ErrHistoryGone is returned by SnapshotAt when the requested epoch is
+// older than the configured HistoryRetention window, so compaction may
+// already have reclaimed versions it needs.
+var ErrHistoryGone = fmt.Errorf("livegraph: epoch outside the retained history window")
+
+// SnapshotAt pins a consistent view of the graph as of a *past* epoch —
+// temporal graph processing on the primary store (paper §9 future work).
+// The epoch must lie within the HistoryRetention window; the graph must
+// have been opened with HistoryRetention > 0 for anything but the current
+// epoch to be dependable.
+func (g *Graph) SnapshotAt(epoch int64) (*Snapshot, error) {
+	if g.closed.Load() {
+		return nil, ErrClosed
+	}
+	cur := g.epochs.ReadEpoch()
+	if epoch > cur {
+		return nil, fmt.Errorf("livegraph: epoch %d is in the future (current %d)", epoch, cur)
+	}
+	if epoch < cur-g.opts.HistoryRetention {
+		return nil, ErrHistoryGone
+	}
+	slot := g.acquireSlot()
+	g.readers.Enter(slot, epoch)
+	// Re-check after pinning: a compaction pass that computed its floor
+	// before we registered could still reclaim our versions, so the window
+	// check must hold with the epoch already pinned.
+	if epoch < g.epochs.ReadEpoch()-g.opts.HistoryRetention {
+		g.readers.Exit(slot)
+		g.releaseSlot(slot)
+		return nil, ErrHistoryGone
+	}
+	return &Snapshot{g: g, tre: epoch, slot: slot}, nil
+}
+
+// Release unpins the snapshot. Idempotent.
+func (s *Snapshot) Release() {
+	if s.released.Swap(true) {
+		return
+	}
+	s.g.readers.Exit(s.slot)
+	s.g.releaseSlot(s.slot)
+}
+
+// Epoch returns the read epoch this snapshot observes.
+func (s *Snapshot) Epoch() int64 { return s.tre }
+
+// NumVertices returns the vertex-ID space size at snapshot time.
+func (s *Snapshot) NumVertices() int64 { return s.g.nextVertex.Load() }
+
+// VertexData returns the payload of v, or ok=false if v does not exist (or
+// is deleted) in this snapshot.
+func (s *Snapshot) VertexData(v VertexID) ([]byte, bool) {
+	ver := s.g.latestVertex(v, s.tre)
+	if ver == nil || ver.deleted {
+		return nil, false
+	}
+	return ver.data, true
+}
+
+// ScanNeighbors sequentially scans the (v,label) adjacency list, invoking
+// fn for every visible edge (newest first). fn returning false stops the
+// scan. Property slices alias block memory and are only valid during the
+// call.
+func (s *Snapshot) ScanNeighbors(v VertexID, label Label, fn func(dst VertexID, props []byte) bool) {
+	t := s.g.telFor(v, label)
+	if t == nil {
+		return
+	}
+	s.g.touch(t)
+	paged := s.g.opts.PageCache != nil
+	lastPage := int64(-1)
+	it := t.Scan(t.Len(), s.tre, 0)
+	for {
+		i := it.Next()
+		if i < 0 {
+			return
+		}
+		if paged {
+			if p := t.EntryPage(i); p != lastPage {
+				lastPage = p
+				s.g.touchPage(t, p)
+			}
+		}
+		if !fn(VertexID(t.Dst(i)), t.Props(i)) {
+			return
+		}
+	}
+}
+
+// Degree counts visible edges of (v,label).
+func (s *Snapshot) Degree(v VertexID, label Label) int {
+	n := 0
+	s.ScanNeighbors(v, label, func(VertexID, []byte) bool { n++; return true })
+	return n
+}
+
+// HasEdge reports whether a visible (v,label,dst) edge exists.
+func (s *Snapshot) HasEdge(v VertexID, label Label, dst VertexID) bool {
+	t := s.g.telFor(v, label)
+	if t == nil {
+		return false
+	}
+	s.g.touch(t)
+	if !t.MayContain(int64(dst)) {
+		return false
+	}
+	return t.FindLatest(int64(dst), t.Len(), s.tre, 0) >= 0
+}

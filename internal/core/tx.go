@@ -1,0 +1,535 @@
+package core
+
+import (
+	"livegraph/internal/mvcc"
+	"livegraph/internal/storage"
+	"livegraph/internal/tel"
+)
+
+// Tx is a transaction. Write transactions follow the paper's three phases:
+// a work phase executed by the caller's goroutine (lock, append private
+// entries tagged -TID), then persist and apply phases executed by the group
+// committer when Commit is called. Read-only transactions just pin a read
+// epoch (snapshot isolation: they never block and are never blocked).
+//
+// A Tx is not safe for concurrent use by multiple goroutines.
+type Tx struct {
+	g      *Graph
+	slot   int
+	handle *storage.Handle
+	tre    int64 // transaction-local read epoch (TRE)
+	tid    int64 // transaction identifier; writes are tagged -tid
+	ro     bool
+	done   bool
+
+	locked    map[uint64]struct{} // held lock stripes (dedup by stripe, not vertex)
+	telWrites map[telKey]*telWrite
+	vWrites   map[VertexID]*vertexWrite
+	walBuf    []byte
+	commitRes chan error
+}
+
+type telKey struct {
+	v     VertexID
+	label Label
+}
+
+// telWrite tracks one adjacency list this transaction has modified. The
+// tentative entry count n and property length propLen extend past the
+// committed LS/PS; they are published at apply time. appended/invalidated
+// hold entry indices, which survive block upgrades because an upgrade
+// copies the full prefix.
+type telWrite struct {
+	entry       *labelEntry
+	cur         *tel.TEL
+	n           int
+	propLen     int
+	appended    []int
+	invalidated []int
+}
+
+func (w *telWrite) dirty() bool { return len(w.appended) > 0 || len(w.invalidated) > 0 }
+
+type vertexWrite struct {
+	data    []byte
+	deleted bool
+}
+
+// Begin starts a read-write transaction.
+func (g *Graph) Begin() (*Tx, error) {
+	if g.closed.Load() {
+		return nil, ErrClosed
+	}
+	slot := g.acquireSlot()
+	tre := g.epochs.ReadEpoch()
+	g.readers.Enter(slot, tre)
+	return &Tx{
+		g:      g,
+		slot:   slot,
+		handle: g.handles[slot],
+		tre:    tre,
+		tid:    g.tids.Next(),
+	}, nil
+}
+
+// BeginRead starts a read-only snapshot transaction.
+func (g *Graph) BeginRead() (*Tx, error) {
+	if g.closed.Load() {
+		return nil, ErrClosed
+	}
+	slot := g.acquireSlot()
+	tre := g.epochs.ReadEpoch()
+	g.readers.Enter(slot, tre)
+	return &Tx{g: g, slot: slot, tre: tre, ro: true}, nil
+}
+
+// ReadEpoch returns the snapshot epoch this transaction reads at.
+func (tx *Tx) ReadEpoch() int64 { return tx.tre }
+
+func (tx *Tx) finish() {
+	tx.g.readers.Exit(tx.slot)
+	tx.g.releaseSlot(tx.slot)
+	tx.done = true
+}
+
+// lock acquires the write lock for v (idempotent within the transaction).
+// On timeout the transaction is aborted and ErrLockTimeout returned.
+func (tx *Tx) lock(v VertexID) error {
+	stripe := tx.g.locks.StripeOf(uint64(v))
+	if _, ok := tx.locked[stripe]; ok {
+		return nil
+	}
+	if !tx.g.locks.TryLock(uint64(v), tx.g.opts.LockTimeout) {
+		tx.abortLocked()
+		return ErrLockTimeout
+	}
+	if tx.locked == nil {
+		tx.locked = make(map[uint64]struct{})
+	}
+	tx.locked[stripe] = struct{}{}
+	return nil
+}
+
+func (tx *Tx) checkWrite() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.ro {
+		return ErrReadOnly
+	}
+	return nil
+}
+
+// Vertex operations -----------------------------------------------------------
+
+// AddVertex allocates a new vertex with the given (opaque) property payload
+// and returns its ID. The vertex becomes visible to other transactions at
+// commit (paper §4: atomic fetch-and-add for the ID, index slots filled,
+// lock status set).
+func (tx *Tx) AddVertex(data []byte) (VertexID, error) {
+	if err := tx.checkWrite(); err != nil {
+		return 0, err
+	}
+	id := VertexID(tx.g.nextVertex.Add(1) - 1)
+	if err := tx.lock(id); err != nil {
+		return 0, err
+	}
+	tx.bufferVertex(id, data, false)
+	tx.walBuf = appendVertexOp(tx.walBuf, opAddVertex, id, data)
+	return id, nil
+}
+
+// PutVertex replaces the vertex's property payload (copy-on-write version).
+func (tx *Tx) PutVertex(v VertexID, data []byte) error {
+	if err := tx.checkWrite(); err != nil {
+		return err
+	}
+	if err := tx.lock(v); err != nil {
+		return err
+	}
+	if err := tx.vertexConflict(v); err != nil {
+		return err
+	}
+	tx.bufferVertex(v, data, false)
+	tx.walBuf = appendVertexOp(tx.walBuf, opPutVertex, v, data)
+	return nil
+}
+
+// DeleteVertex tombstones the vertex. Its adjacency lists remain readable
+// by older snapshots; IDs are not recycled (paper leaves this to future
+// work).
+func (tx *Tx) DeleteVertex(v VertexID) error {
+	if err := tx.checkWrite(); err != nil {
+		return err
+	}
+	if err := tx.lock(v); err != nil {
+		return err
+	}
+	if err := tx.vertexConflict(v); err != nil {
+		return err
+	}
+	tx.bufferVertex(v, nil, true)
+	tx.walBuf = appendVertexOp(tx.walBuf, opDelVertex, v, nil)
+	return nil
+}
+
+// vertexConflict implements first-committer-wins for vertex writes: if a
+// version newer than our snapshot exists, abort.
+func (tx *Tx) vertexConflict(v VertexID) error {
+	if ver := tx.g.vindex.Get(int64(v)); ver != nil && ver.ts > tx.tre {
+		tx.abortLocked()
+		return ErrConflict
+	}
+	return nil
+}
+
+func (tx *Tx) bufferVertex(v VertexID, data []byte, deleted bool) {
+	if tx.vWrites == nil {
+		tx.vWrites = make(map[VertexID]*vertexWrite)
+	}
+	cp := append([]byte(nil), data...)
+	tx.vWrites[v] = &vertexWrite{data: cp, deleted: deleted}
+}
+
+// GetVertex returns the vertex payload visible in this transaction's
+// snapshot (including its own buffered write).
+func (tx *Tx) GetVertex(v VertexID) ([]byte, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	if w, ok := tx.vWrites[v]; ok {
+		if w.deleted {
+			return nil, ErrNotFound
+		}
+		return w.data, nil
+	}
+	ver := tx.g.latestVertex(v, tx.tre)
+	if ver == nil || ver.deleted {
+		return nil, ErrNotFound
+	}
+	return ver.data, nil
+}
+
+// Edge operations -------------------------------------------------------------
+
+// ensureTEL locks src and returns the transaction's write handle for the
+// (src, label) adjacency list, creating the TEL if this is the first edge.
+func (tx *Tx) ensureTEL(src VertexID, label Label) (*telWrite, error) {
+	if err := tx.lock(src); err != nil {
+		return nil, err
+	}
+	key := telKey{src, label}
+	if w, ok := tx.telWrites[key]; ok {
+		return w, nil
+	}
+	g := tx.g
+	ll := g.eindex.Get(int64(src))
+	if ll == nil {
+		ll = &labelList{}
+		g.eindex.Set(int64(src), ll)
+	}
+	e := ll.find(label)
+	if e == nil {
+		e = &labelEntry{label: label}
+		t := tel.New(tx.handle, int64(src), int64(label), 1, 64)
+		e.tel.Store(t)
+		ll.addLocked(e)
+	}
+	t := e.tel.Load()
+	g.touch(t)
+	w := &telWrite{entry: e, cur: t, n: t.Len(), propLen: t.PropLen()}
+	if tx.telWrites == nil {
+		tx.telWrites = make(map[telKey]*telWrite)
+	}
+	tx.telWrites[key] = w
+	return w, nil
+}
+
+// upgrade relocates w's TEL to a block at least twice as large that also
+// fits extraProps more property bytes (paper §3: dynamic-array style
+// doubling; amortised O(1) appends). The new block carries an identical
+// committed prefix, so the index pointer swap is safe immediately; the old
+// block is recycled once no ongoing reader can still hold it.
+func (tx *Tx) upgrade(w *telWrite, extraProps int) {
+	g := tx.g
+	old := w.cur
+	needEntries := w.n + 1
+	needProps := w.propLen + extraProps
+	nt := tel.New(tx.handle, old.Src(), old.Label(), max(needEntries, old.EntryCap()*2), max(needProps, old.PropCap()*2))
+	nt.CopyAllFrom(old, w.n, w.propLen)
+	w.entry.tel.Store(nt)
+	w.cur = nt
+	tx.handle.DeferFree(old.Block, g.epochs.WriteEpoch())
+	if g.opts.PageCache != nil {
+		g.forgetBlock(old)
+		g.touch(nt)
+	}
+	g.stats.Upgrades.Add(1)
+}
+
+// invalidatePrev finds the latest visible version of (src→dst) within w and
+// marks it invalidated by this transaction. Returns ErrNotFound if no
+// visible version exists, ErrConflict (aborting) if another transaction
+// committed to this TEL after our snapshot.
+func (tx *Tx) invalidatePrev(w *telWrite, dst VertexID) error {
+	t := w.cur
+	// First-committer-wins, checked against the TEL's commit timestamp
+	// before any scan (paper §5: "write operations can simply compare
+	// their timestamp against CT instead of paying the cost of scanning").
+	// This also catches the case where a concurrent transaction *inserted*
+	// the edge after our snapshot: the version is invisible to us, so a
+	// scan alone would wrongly conclude the edge is new and duplicate it.
+	if t.CommitTS() > tx.tre {
+		tx.abortLocked()
+		return ErrConflict
+	}
+	if !t.MayContain(int64(dst)) {
+		tx.g.stats.BloomSkips.Add(1)
+		return ErrNotFound
+	}
+	tx.g.stats.BloomScans.Add(1)
+	i := t.FindLatest(int64(dst), w.n, tx.tre, tx.tid)
+	if i < 0 {
+		return ErrNotFound
+	}
+	if t.Creation(i) == -tx.tid {
+		// Deleting our own pending insert: mark it self-invalidated.
+		t.SetInvalidation(i, -tx.tid)
+	} else if !t.CASInvalidation(i, mvcc.NullTS, -tx.tid) {
+		tx.abortLocked()
+		return ErrConflict
+	}
+	w.invalidated = append(w.invalidated, i)
+	return nil
+}
+
+func (tx *Tx) appendEdge(w *telWrite, dst VertexID, props []byte) {
+	if !w.cur.Fits(w.n, w.propLen, len(props)) {
+		tx.upgrade(w, len(props))
+	}
+	w.propLen = w.cur.Append(w.n, int64(dst), -tx.tid, props, w.propLen)
+	w.appended = append(w.appended, w.n)
+	w.n++
+}
+
+// InsertEdge appends a new edge without checking for a previous version —
+// the paper's "true insertion" fast path (amortised constant time). Use
+// when the caller knows the edge is new (e.g. a new "like" or purchase).
+func (tx *Tx) InsertEdge(src VertexID, label Label, dst VertexID, props []byte) error {
+	if err := tx.checkWrite(); err != nil {
+		return err
+	}
+	w, err := tx.ensureTEL(src, label)
+	if err != nil {
+		return err
+	}
+	tx.appendEdge(w, dst, props)
+	tx.walBuf = appendEdgeOp(tx.walBuf, opInsertEdge, src, label, dst, props)
+	tx.g.markDirty(src)
+	return nil
+}
+
+// AddEdge upserts an edge: if a visible version of (src,label,dst) exists
+// it is invalidated first (this is LinkBench's upsert semantics; the Bloom
+// filter lets true insertions skip the scan).
+func (tx *Tx) AddEdge(src VertexID, label Label, dst VertexID, props []byte) error {
+	if err := tx.checkWrite(); err != nil {
+		return err
+	}
+	w, err := tx.ensureTEL(src, label)
+	if err != nil {
+		return err
+	}
+	if err := tx.invalidatePrev(w, dst); err != nil && err != ErrNotFound {
+		return err
+	}
+	tx.appendEdge(w, dst, props)
+	tx.walBuf = appendEdgeOp(tx.walBuf, opUpsertEdge, src, label, dst, props)
+	tx.g.markDirty(src)
+	return nil
+}
+
+// DeleteEdge removes the visible version of (src,label,dst). Returns
+// ErrNotFound (without aborting) if the edge does not exist.
+func (tx *Tx) DeleteEdge(src VertexID, label Label, dst VertexID) error {
+	if err := tx.checkWrite(); err != nil {
+		return err
+	}
+	w, err := tx.ensureTEL(src, label)
+	if err != nil {
+		return err
+	}
+	if err := tx.invalidatePrev(w, dst); err != nil {
+		return err
+	}
+	tx.walBuf = appendEdgeOp(tx.walBuf, opDeleteEdge, src, label, dst, nil)
+	tx.g.markDirty(src)
+	return nil
+}
+
+// GetEdge returns the properties of the visible version of (src,label,dst).
+// The returned slice aliases block memory; copy it to retain it past the
+// transaction.
+func (tx *Tx) GetEdge(src VertexID, label Label, dst VertexID) ([]byte, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	t, n := tx.readView(src, label)
+	if t == nil {
+		return nil, ErrNotFound
+	}
+	if !t.MayContain(int64(dst)) {
+		return nil, ErrNotFound
+	}
+	i := t.FindLatest(int64(dst), n, tx.tre, tx.tid)
+	if i < 0 {
+		return nil, ErrNotFound
+	}
+	return t.Props(i), nil
+}
+
+// readView resolves the TEL and entry bound this transaction should scan:
+// its own tentative view for lists it has written, the committed view
+// otherwise.
+func (tx *Tx) readView(src VertexID, label Label) (*tel.TEL, int) {
+	if w, ok := tx.telWrites[telKey{src, label}]; ok {
+		return w.cur, w.n
+	}
+	t := tx.g.telFor(src, label)
+	if t == nil {
+		return nil, 0
+	}
+	tx.g.touch(t)
+	return t, t.Len()
+}
+
+// EdgeIter is a purely sequential adjacency list scan bound to a
+// transaction's snapshot, yielding edges newest-first.
+type EdgeIter struct {
+	t        *tel.TEL
+	it       tel.Iter
+	i        int
+	done     bool
+	g        *Graph // for OOC page charging; nil when not simulating
+	lastPage int64
+}
+
+// Neighbors returns an iterator over the (src,label) adjacency list.
+func (tx *Tx) Neighbors(src VertexID, label Label) *EdgeIter {
+	if tx.done {
+		return &EdgeIter{done: true}
+	}
+	t, n := tx.readView(src, label)
+	if t == nil {
+		return &EdgeIter{done: true}
+	}
+	it := &EdgeIter{t: t, it: t.Scan(n, tx.tre, tx.tid), lastPage: -1}
+	if tx.g.opts.PageCache != nil {
+		it.g = tx.g
+	}
+	return it
+}
+
+// Next advances the iterator. It returns false when the scan is complete.
+func (e *EdgeIter) Next() bool {
+	if e.done {
+		return false
+	}
+	e.i = e.it.Next()
+	if e.i < 0 {
+		e.done = true
+		return false
+	}
+	if e.g != nil {
+		if p := e.t.EntryPage(e.i); p != e.lastPage {
+			e.lastPage = p
+			e.g.touchPage(e.t, p)
+		}
+	}
+	return true
+}
+
+// Dst returns the current edge's destination vertex.
+func (e *EdgeIter) Dst() VertexID { return VertexID(e.t.Dst(e.i)) }
+
+// Props returns the current edge's properties (aliasing block memory).
+func (e *EdgeIter) Props() []byte { return e.t.Props(e.i) }
+
+// Degree counts visible edges in the (src,label) adjacency list.
+func (tx *Tx) Degree(src VertexID, label Label) int {
+	it := tx.Neighbors(src, label)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	return n
+}
+
+// Commit / Abort --------------------------------------------------------------
+
+// Commit finishes the transaction. Read-only transactions and write
+// transactions with an empty write set release their snapshot immediately;
+// writers go through the group committer (persist + apply phases).
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.ro || (len(tx.telWrites) == 0 && len(tx.vWrites) == 0) {
+		tx.unlockAll()
+		tx.finish()
+		return nil
+	}
+	tx.commitRes = make(chan error, 1)
+	tx.g.commit.submit(tx)
+	err := <-tx.commitRes
+	tx.finish()
+	if err != nil {
+		tx.g.stats.Aborts.Add(1)
+		return err
+	}
+	tx.g.stats.Commits.Add(1)
+	tx.g.noteWriteCommitted()
+	return nil
+}
+
+// Abort rolls the transaction back: invalidation timestamps it set are
+// reverted to NULL, locks released, and its appended entries are left
+// beyond the committed LS where the next writer will overwrite them (paper
+// §5, aborts).
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.abortLocked()
+	tx.g.stats.Aborts.Add(1)
+}
+
+// abortLocked reverts and finishes; used both by Abort and by internal
+// error paths that must abort while still holding locks.
+func (tx *Tx) abortLocked() {
+	tx.revert()
+	tx.unlockAll()
+	tx.finish()
+}
+
+func (tx *Tx) revert() {
+	for _, w := range tx.telWrites {
+		for _, i := range w.invalidated {
+			w.cur.CASInvalidation(i, -tx.tid, mvcc.NullTS)
+		}
+	}
+}
+
+func (tx *Tx) unlockAll() {
+	for s := range tx.locked {
+		tx.g.locks.UnlockStripe(s)
+	}
+	tx.locked = nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

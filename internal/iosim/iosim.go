@@ -1,0 +1,262 @@
+// Package iosim models the storage hardware of the paper's testbed (Table 2)
+// so durability and out-of-core experiments can run anywhere.
+//
+// Two pieces:
+//
+//   - Device: a write-ahead-log target with a per-operation base latency and
+//     a bandwidth term. Profiles approximate the paper's Intel Optane P4800X
+//     and Dell NAND SSDs. The WAL's group-commit fsyncs go through a Device,
+//     so the latency/throughput trade-offs the paper measures (group commit
+//     amortisation, Optane vs NAND gap) are reproduced in shape.
+//
+//   - PageCache: an LRU resident-set simulator standing in for the paper's
+//     cgroup-limited mmap page cache. Out-of-core experiments cap the
+//     resident bytes; touching a non-resident block charges the device's
+//     read latency, which is exactly the effect the paper's OOC tables
+//     (5, 6, 8) measure.
+package iosim
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile describes a storage device's performance envelope.
+type Profile struct {
+	Name         string
+	WriteLatency time.Duration // per-fsync base latency
+	ReadLatency  time.Duration // per-miss base latency (page fault)
+	WriteBWBps   int64         // sustained write bandwidth, bytes/sec
+	ReadBWBps    int64         // sustained read bandwidth, bytes/sec
+}
+
+// Paper-testbed-inspired profiles. Absolute values are representative of
+// the device classes; the experiments depend on their ratio, not the
+// absolute figures.
+var (
+	// Optane approximates the Intel Optane P4800X: very low latency,
+	// ~2.2 GB/s writes.
+	Optane = Profile{Name: "Optane", WriteLatency: 10 * time.Microsecond,
+		ReadLatency: 10 * time.Microsecond, WriteBWBps: 2_200_000_000, ReadBWBps: 2_400_000_000}
+	// NAND approximates the Dell PM1725a NAND SSD: higher latency,
+	// ~2 GB/s writes.
+	NAND = Profile{Name: "NAND", WriteLatency: 80 * time.Microsecond,
+		ReadLatency: 90 * time.Microsecond, WriteBWBps: 2_000_000_000, ReadBWBps: 3_000_000_000}
+	// Null is an instantaneous device for tests that don't measure I/O.
+	Null = Profile{Name: "Null"}
+)
+
+// Device simulates a durable append target. Writes accumulate in a buffer
+// discarded on Sync (the data itself is persisted by the caller's file if
+// durability of content matters; Device only models *timing*).
+type Device struct {
+	prof Profile
+
+	mu        sync.Mutex
+	pending   int64 // bytes buffered since last sync
+	busyUntil time.Time
+
+	syncs        atomic.Int64
+	bytesWritten atomic.Int64
+	readFaults   atomic.Int64
+	bytesRead    atomic.Int64
+}
+
+// NewDevice creates a device with the given profile.
+func NewDevice(p Profile) *Device { return &Device{prof: p} }
+
+// Profile returns the device's profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Write buffers n bytes (no latency until Sync, like OS write buffering).
+func (d *Device) Write(n int) {
+	d.mu.Lock()
+	d.pending += int64(n)
+	d.mu.Unlock()
+	d.bytesWritten.Add(int64(n))
+}
+
+// Sync models an fsync of the buffered bytes: base latency plus the
+// bandwidth term, serialised against other device operations (a device has
+// one queue). It blocks the caller for the simulated duration.
+func (d *Device) Sync() {
+	d.syncs.Add(1)
+	if d.prof.WriteLatency == 0 && d.prof.WriteBWBps == 0 {
+		d.mu.Lock()
+		d.pending = 0
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Lock()
+	dur := d.prof.WriteLatency
+	if d.prof.WriteBWBps > 0 {
+		dur += time.Duration(d.pending * int64(time.Second) / d.prof.WriteBWBps)
+	}
+	d.pending = 0
+	now := time.Now()
+	start := now
+	if d.busyUntil.After(now) {
+		start = d.busyUntil
+	}
+	end := start.Add(dur)
+	d.busyUntil = end
+	d.mu.Unlock()
+	sleepPrecise(end.Sub(now))
+}
+
+// sleepPrecise blocks for d with microsecond accuracy: time.Sleep's timer
+// granularity overshoots sub-100µs sleeps by an order of magnitude, which
+// would distort the device model, so short waits spin.
+func sleepPrecise(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	if d > 200*time.Microsecond {
+		time.Sleep(d - 100*time.Microsecond)
+	}
+	for time.Now().Before(deadline) {
+	}
+}
+
+// ReadFault models a page fault of n bytes: base read latency plus
+// bandwidth term. Concurrent faults are not serialised (SSDs have deep
+// queues for reads).
+func (d *Device) ReadFault(n int) {
+	d.readFaults.Add(1)
+	d.bytesRead.Add(int64(n))
+	if d.prof.ReadLatency == 0 && d.prof.ReadBWBps == 0 {
+		return
+	}
+	dur := d.prof.ReadLatency
+	if d.prof.ReadBWBps > 0 {
+		dur += time.Duration(int64(n) * int64(time.Second) / d.prof.ReadBWBps)
+	}
+	sleepPrecise(dur)
+}
+
+// DeviceStats is a snapshot of device counters.
+type DeviceStats struct {
+	Syncs        int64
+	BytesWritten int64
+	ReadFaults   int64
+	BytesRead    int64
+}
+
+// Stats returns the device counters.
+func (d *Device) Stats() DeviceStats {
+	return DeviceStats{
+		Syncs:        d.syncs.Load(),
+		BytesWritten: d.bytesWritten.Load(),
+		ReadFaults:   d.readFaults.Load(),
+		BytesRead:    d.bytesRead.Load(),
+	}
+}
+
+// PageCache simulates a capped resident set over identified pages (we use
+// one page per storage block). Touch returns true on a hit; on a miss it
+// charges the backing device a read fault for the page size and admits the
+// page, evicting LRU pages to stay under the cap.
+type PageCache struct {
+	dev *Device
+	cap int64
+
+	mu       sync.Mutex
+	resident map[uint64]*list.Element // page id -> lru element
+	lru      *list.List               // front = most recent
+	used     int64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cachePage struct {
+	id   uint64
+	size int64
+}
+
+// NewPageCache creates a cache with capBytes of simulated resident memory
+// backed by dev. capBytes <= 0 means unlimited (in-memory mode: every touch
+// hits).
+func NewPageCache(dev *Device, capBytes int64) *PageCache {
+	return &PageCache{dev: dev, cap: capBytes, resident: make(map[uint64]*list.Element), lru: list.New()}
+}
+
+// Touch accesses page id of the given size. Returns true on a hit.
+func (c *PageCache) Touch(id uint64, size int64) bool {
+	if c.cap <= 0 {
+		c.hits.Add(1)
+		return true
+	}
+	c.mu.Lock()
+	if el, ok := c.resident[id]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return true
+	}
+	// Admit, evicting as needed.
+	for c.used+size > c.cap && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		pg := back.Value.(cachePage)
+		c.lru.Remove(back)
+		delete(c.resident, pg.id)
+		c.used -= pg.size
+	}
+	c.resident[id] = c.lru.PushFront(cachePage{id: id, size: size})
+	c.used += size
+	c.mu.Unlock()
+	c.misses.Add(1)
+	c.dev.ReadFault(int(size))
+	return false
+}
+
+// SetCap changes the resident-set budget, evicting LRU pages if the new
+// cap is smaller. Used when the budget is a fraction of a footprint only
+// known after loading (the paper sizes its cgroup cap at 16% of
+// LiveGraph's measured usage).
+func (c *PageCache) SetCap(capBytes int64) {
+	c.mu.Lock()
+	c.cap = capBytes
+	if capBytes > 0 {
+		for c.used > capBytes && c.lru.Len() > 0 {
+			back := c.lru.Back()
+			pg := back.Value.(cachePage)
+			c.lru.Remove(back)
+			delete(c.resident, pg.id)
+			c.used -= pg.size
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Forget drops page id from the resident set (e.g. the block was freed).
+func (c *PageCache) Forget(id uint64) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.resident[id]; ok {
+		pg := el.Value.(cachePage)
+		c.lru.Remove(el)
+		delete(c.resident, id)
+		c.used -= pg.size
+	}
+	c.mu.Unlock()
+}
+
+// CacheStats is a snapshot of hit/miss counters.
+type CacheStats struct {
+	Hits, Misses  int64
+	ResidentBytes int64
+}
+
+// Stats returns cache counters.
+func (c *PageCache) Stats() CacheStats {
+	c.mu.Lock()
+	used := c.used
+	c.mu.Unlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), ResidentBytes: used}
+}

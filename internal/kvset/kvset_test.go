@@ -1,0 +1,187 @@
+package kvset
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	v1 := s.Put(1, []byte("a"))
+	if got, ok := s.Get(1, v1); !ok || string(got) != "a" {
+		t.Fatalf("Get %q %v", got, ok)
+	}
+	v2 := s.Put(1, []byte("b"))
+	if got, _ := s.Get(1, v2); string(got) != "b" {
+		t.Fatalf("after overwrite %q", got)
+	}
+	// The old version remains readable at the old snapshot.
+	if got, _ := s.Get(1, v1); string(got) != "a" {
+		t.Fatalf("v1 view %q", got)
+	}
+	ok, v3 := s.Delete(1)
+	if !ok {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.Get(1, v3); ok {
+		t.Fatal("deleted key visible at later version")
+	}
+	if got, _ := s.Get(1, v2); string(got) != "b" {
+		t.Fatal("v2 view lost after delete")
+	}
+	if ok, _ := s.Delete(1); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len %d", s.Len())
+	}
+}
+
+func TestScanSnapshotConsistent(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 100; i++ {
+		s.Put(i, []byte{byte(i)})
+	}
+	v := s.Current()
+	// Mutate after the snapshot.
+	for i := int64(0); i < 50; i++ {
+		s.Delete(i)
+	}
+	s.Put(200, []byte("new"))
+	// The snapshot still sees exactly the original 100 keys.
+	seen := map[int64]bool{}
+	s.Scan(v, func(k int64, val []byte) bool {
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+		if val[0] != byte(k) {
+			t.Fatalf("key %d value %v", k, val)
+		}
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("snapshot scan saw %d keys", len(seen))
+	}
+	// The current version sees 51.
+	count := 0
+	s.Scan(s.Current(), func(int64, []byte) bool { count++; return true })
+	if count != 51 {
+		t.Fatalf("current scan saw %d keys", count)
+	}
+}
+
+func TestGrowthPreservesData(t *testing.T) {
+	s := New()
+	const n = 5000
+	for i := int64(0); i < n; i++ {
+		s.Put(i, []byte(fmt.Sprintf("v%d", i)))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len %d", s.Len())
+	}
+	v := s.Current()
+	for i := int64(0); i < n; i += 997 {
+		got, ok := s.Get(i, v)
+		if !ok || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: %q %v", i, got, ok)
+		}
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := New()
+		model := map[int64][]byte{}
+		for _, op := range ops {
+			k := int64(op % 64)
+			if (op>>8)%4 == 0 {
+				got, _ := s.Delete(k)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := []byte{byte(op)}
+				s.Put(k, v)
+				model[k] = v
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		cur := s.Current()
+		for k, want := range model {
+			got, ok := s.Get(k, cur)
+			if !ok || string(got) != string(want) {
+				return false
+			}
+		}
+		count := 0
+		s.Scan(cur, func(int64, []byte) bool { count++; return true })
+		return count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 64; i++ {
+		s.Put(i, []byte{1})
+	}
+	base := s.Current()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				count := 0
+				s.Scan(base, func(int64, []byte) bool { count++; return true })
+				if count != 64 {
+					t.Errorf("snapshot scan drifted: %d", count)
+					return
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		s.Put(rng.Int63n(256), []byte{2})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Put(int64(i), nil)
+	}
+}
+
+func BenchmarkSnapshotScan(b *testing.B) {
+	s := New()
+	for i := int64(0); i < 10000; i++ {
+		s.Put(i, nil)
+	}
+	v := s.Current()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Scan(v, func(int64, []byte) bool { n++; return true })
+	}
+}

@@ -1,0 +1,143 @@
+// Package metrics provides the lock-free latency histogram the benchmark
+// drivers record into, and formatting helpers for the paper-style result
+// tables (mean / p99 / p999 latencies, throughput).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a log-scaled latency histogram safe for concurrent Record
+// calls. Buckets span 1ns to ~1000s with 64 major (power-of-two) scales of
+// 16 minor buckets each, giving <7% quantile error — plenty for the
+// paper's mean/p99/p999 tables.
+type Histogram struct {
+	buckets [64 * 16]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func bucketIndex(d time.Duration) int {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	major := 63 - leadingZeros(ns)
+	var minor uint64
+	if major >= 4 {
+		minor = (ns >> (uint(major) - 4)) & 15
+	} else {
+		minor = (ns << (4 - uint(major))) & 15
+	}
+	return major*16 + int(minor)
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// bucketValue returns a representative latency for bucket i (its lower
+// bound).
+func bucketValue(i int) time.Duration {
+	major := i / 16
+	minor := i % 16
+	if major >= 4 {
+		return time.Duration((1 << uint(major)) | (uint64(minor) << (uint(major) - 4)))
+	}
+	return time.Duration(1 << uint(major))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(c)))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketValue(i)
+		}
+	}
+	return bucketValue(len(h.buckets) - 1)
+}
+
+// Merge adds o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		if v := o.buckets[i].Load(); v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// Reset clears all samples.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// Ms formats a duration as milliseconds with the paper's 4-significant
+// digit style.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.4f", float64(d.Nanoseconds())/1e6)
+}
+
+// Result is one benchmark measurement: a latency distribution plus the
+// wall-clock throughput it was achieved at.
+type Result struct {
+	Name       string
+	Hist       *Histogram
+	Elapsed    time.Duration
+	Operations int64
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.Operations) / r.Elapsed.Seconds()
+}
+
+// String renders the paper's latency-table row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-24s mean=%sms p99=%sms p999=%sms thpt=%.0f req/s",
+		r.Name, Ms(r.Hist.Mean()), Ms(r.Hist.Quantile(0.99)), Ms(r.Hist.Quantile(0.999)), r.Throughput())
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Microsecond)
+	h.Record(300 * time.Microsecond)
+	if got := h.Mean(); got != 200*time.Microsecond {
+		t.Fatalf("mean %v", got)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// Uniform 1..1000 µs.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Microsecond}, {0.99, 990 * time.Microsecond}, {1.0, 1000 * time.Microsecond}} {
+		got := h.Quantile(tc.q)
+		ratio := float64(got) / float64(tc.want)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("q%.3f = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramEmptyIsZero(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("count %d", a.Count())
+	}
+	if got := a.Mean(); got != 2*time.Millisecond {
+		t.Fatalf("mean %v", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(rng.Intn(1_000_000)) * time.Nanosecond)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for ns := int64(1); ns < int64(10*time.Second); ns *= 3 {
+		b := bucketIndex(time.Duration(ns))
+		if b < prev {
+			t.Fatalf("bucket not monotone at %dns: %d < %d", ns, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	r := Result{Name: "x", Hist: &h, Elapsed: 2 * time.Second, Operations: 1000}
+	if got := r.Throughput(); got != 500 {
+		t.Fatalf("throughput %f", got)
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty string")
+	}
+	zero := Result{Name: "z", Hist: &h}
+	if zero.Throughput() != 0 {
+		t.Fatal("zero elapsed should give zero throughput")
+	}
+}

@@ -1,0 +1,229 @@
+package mvcc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEpochsBasic(t *testing.T) {
+	var e Epochs
+	if e.ReadEpoch() != 0 || e.WriteEpoch() != 0 {
+		t.Fatal("epochs must start at 0")
+	}
+	if got := e.AdvanceWrite(); got != 1 {
+		t.Fatalf("AdvanceWrite = %d, want 1", got)
+	}
+	e.PublishRead(1)
+	if e.ReadEpoch() != 1 {
+		t.Fatal("PublishRead did not take effect")
+	}
+	// PublishRead never regresses.
+	e.PublishRead(0)
+	if e.ReadEpoch() != 1 {
+		t.Fatal("PublishRead regressed")
+	}
+}
+
+func TestEpochInvariantGWEGEqGRE(t *testing.T) {
+	var e Epochs
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ts := e.AdvanceWrite()
+				e.PublishRead(ts)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Both counters are monotone and GWE >= GRE holds at every instant, so
+	// loading GRE *first* guarantees the subsequent GWE load is >= it; the
+	// opposite order would race with concurrent advances and false-alarm.
+	for {
+		select {
+		case <-done:
+			gre := e.ReadEpoch()
+			if gwe := e.WriteEpoch(); gwe < gre {
+				t.Fatalf("GWE %d < GRE %d at end", gwe, gre)
+			}
+			return
+		default:
+			gre := e.ReadEpoch()
+			if gwe := e.WriteEpoch(); gwe < gre {
+				t.Fatalf("observed GWE %d < GRE %d", gwe, gre)
+			}
+		}
+	}
+}
+
+func TestVisibleCommitted(t *testing.T) {
+	// Entry created at 5, never invalidated.
+	if !Visible(5, NullTS, 5, 0) {
+		t.Fatal("entry created at TRE must be visible")
+	}
+	if Visible(5, NullTS, 4, 0) {
+		t.Fatal("entry created after TRE must be invisible")
+	}
+	// Invalidated at 8: visible to TRE in [5,7], not at 8+.
+	if !Visible(5, 8, 7, 0) {
+		t.Fatal("TRE 7 < invalidation 8 must see entry")
+	}
+	if Visible(5, 8, 8, 0) {
+		t.Fatal("TRE 8 >= invalidation 8 must not see entry")
+	}
+}
+
+func TestVisibleOwnWrites(t *testing.T) {
+	const tid = 42
+	// Own uncommitted insert.
+	if !Visible(-tid, NullTS, 3, tid) {
+		t.Fatal("transaction must see its own insert")
+	}
+	// Own insert it later deleted itself.
+	if Visible(-tid, -tid, 3, tid) {
+		t.Fatal("transaction must not see its own deleted insert")
+	}
+	// Someone else's uncommitted insert.
+	if Visible(-99, NullTS, 3, tid) {
+		t.Fatal("other transactions' private inserts must be invisible")
+	}
+	// Committed entry this transaction has deleted (invalidation = -tid).
+	if Visible(2, -tid, 3, tid) {
+		t.Fatal("transaction must observe its own delete of a committed entry")
+	}
+	// Same entry seen by a different reader: still visible (uncommitted delete).
+	if !Visible(2, -tid, 3, 7) {
+		t.Fatal("uncommitted delete must not hide the entry from others")
+	}
+	// Pure reader (tid 0) also still sees it.
+	if !Visible(2, -tid, 3, 0) {
+		t.Fatal("uncommitted delete must not hide the entry from readers")
+	}
+}
+
+func TestVisibleProperty(t *testing.T) {
+	// For committed timestamps (creation >= 0, invalidation > creation or
+	// NULL), visibility must be exactly: creation <= tre < invalidation.
+	f := func(c, span uint8, tre uint8) bool {
+		creation := int64(c)
+		inv := creation + 1 + int64(span)
+		want := creation <= int64(tre) && int64(tre) < inv
+		return Visible(creation, inv, int64(tre), 0) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderTableMinActive(t *testing.T) {
+	rt := NewReaderTable(4)
+	if got := rt.MinActive(100); got != 100 {
+		t.Fatalf("idle table MinActive = %d, want fallback 100", got)
+	}
+	rt.Enter(0, 50)
+	rt.Enter(2, 70)
+	if got := rt.MinActive(100); got != 50 {
+		t.Fatalf("MinActive = %d, want 50", got)
+	}
+	rt.Exit(0)
+	if got := rt.MinActive(100); got != 70 {
+		t.Fatalf("MinActive = %d, want 70", got)
+	}
+	rt.Exit(2)
+	if got := rt.MinActive(100); got != 100 {
+		t.Fatalf("MinActive = %d, want 100", got)
+	}
+}
+
+func TestLockTableExclusion(t *testing.T) {
+	lt := NewLockTable(64)
+	if !lt.TryLock(7, time.Millisecond) {
+		t.Fatal("uncontended TryLock failed")
+	}
+	// Second acquisition of the same vertex must time out.
+	start := time.Now()
+	if lt.TryLock(7, 20*time.Millisecond) {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("TryLock returned before the deadline")
+	}
+	lt.Unlock(7)
+	if !lt.TryLock(7, time.Millisecond) {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	lt.Unlock(7)
+}
+
+func TestLockTableConcurrentCounter(t *testing.T) {
+	lt := NewLockTable(8)
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				lt.Lock(3)
+				counter++
+				lt.Unlock(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*500 {
+		t.Fatalf("counter = %d, want %d (lock not exclusive)", counter, 8*500)
+	}
+}
+
+func TestTIDsUnique(t *testing.T) {
+	var tids TIDs
+	seen := make(map[int64]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, 1000)
+			for i := 0; i < 1000; i++ {
+				local = append(local, tids.Next())
+			}
+			mu.Lock()
+			for _, id := range local {
+				if id <= 0 {
+					t.Errorf("TID %d not positive", id)
+				}
+				if seen[id] {
+					t.Errorf("duplicate TID %d", id)
+				}
+				seen[id] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkVisible(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Visible(5, NullTS, 10, 42)
+	}
+}
+
+func BenchmarkLockUnlock(b *testing.B) {
+	lt := NewLockTable(1 << 16)
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			lt.Lock(i)
+			lt.Unlock(i)
+			i++
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a minimal Go client for the HTTP API, used by cmd/lgserver's
+// smoke mode and by tests; applications embedding the library should use
+// package livegraph directly.
+type Client struct {
+	Base string
+	HC   *http.Client
+}
+
+// NewClient targets a server at base (e.g. "http://localhost:7450").
+func NewClient(base string) *Client {
+	return &Client{Base: base, HC: http.DefaultClient}
+}
+
+// Tx executes ops atomically and returns created vertex IDs.
+func (c *Client) Tx(ops ...Op) ([]int64, error) {
+	body, err := json.Marshal(TxRequest{Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HC.Post(c.Base+"/v1/tx", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out TxResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.VertexIDs, nil
+}
+
+// AddVertex creates one vertex.
+func (c *Client) AddVertex(data []byte) (int64, error) {
+	ids, err := c.Tx(Op{Op: "addVertex", Data: data})
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// Vertex fetches a vertex payload.
+func (c *Client) Vertex(id int64) ([]byte, error) {
+	var out struct {
+		Data []byte `json:"data"`
+	}
+	if err := c.get(fmt.Sprintf("/v1/vertex/%d", id), &out); err != nil {
+		return nil, err
+	}
+	return out.Data, nil
+}
+
+// Edge fetches edge properties.
+func (c *Client) Edge(src, label, dst int64) ([]byte, error) {
+	var out struct {
+		Props []byte `json:"props"`
+	}
+	if err := c.get(fmt.Sprintf("/v1/edge/%d/%d/%d", src, label, dst), &out); err != nil {
+		return nil, err
+	}
+	return out.Props, nil
+}
+
+// Neighbors fetches the adjacency list, newest first (limit 0 = all).
+func (c *Client) Neighbors(src, label int64, limit int) ([]Neighbor, error) {
+	url := fmt.Sprintf("/v1/neighbors/%d/%d", src, label)
+	if limit > 0 {
+		url += fmt.Sprintf("?limit=%d", limit)
+	}
+	var out []Neighbor
+	if err := c.get(url, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Degree fetches the visible edge count.
+func (c *Client) Degree(src, label int64) (int, error) {
+	var out struct {
+		Degree int `json:"degree"`
+	}
+	if err := c.get(fmt.Sprintf("/v1/degree/%d/%d", src, label), &out); err != nil {
+		return 0, err
+	}
+	return out.Degree, nil
+}
+
+// Stats fetches engine counters.
+func (c *Client) Stats() (map[string]int64, error) {
+	var out map[string]int64
+	if err := c.get("/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Checkpoint triggers a durable checkpoint.
+func (c *Client) Checkpoint() error {
+	resp, err := c.HC.Post(c.Base+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.HC.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&e)
+	if e.Error == "" {
+		e.Error = resp.Status
+	}
+	return fmt.Errorf("livegraph server: %s (http %d)", e.Error, resp.StatusCode)
+}

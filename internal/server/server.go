@@ -1,0 +1,302 @@
+// Package server exposes a LiveGraph instance over HTTP/JSON — the
+// counterpart of the paper's §7.1 setup, which serves the benchmark driver
+// through an RPC server in front of the embedded store. The API covers the
+// basic operations plus batched transactions, neighborhood scans and
+// snapshot analytics.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/tx          {ops:[...]}                -> atomic transaction
+//	GET  /v1/vertex/{id}                            -> vertex payload
+//	GET  /v1/edge/{src}/{label}/{dst}               -> edge properties
+//	GET  /v1/neighbors/{src}/{label}?limit=N        -> adjacency list (newest first)
+//	GET  /v1/degree/{src}/{label}                   -> edge count
+//	GET  /v1/stats                                  -> engine counters
+//	POST /v1/checkpoint                             -> durable checkpoint
+//
+// Payloads are base64 within JSON. Transaction ops:
+//
+//	{"op":"addVertex","data":...}                       (result: its ID, in order)
+//	{"op":"putVertex","id":7,"data":...}
+//	{"op":"delVertex","id":7}
+//	{"op":"insertEdge","src":1,"label":0,"dst":2,"props":...}
+//	{"op":"upsertEdge",...} {"op":"deleteEdge",...}
+//
+// Conflicted transactions are retried server-side up to MaxRetries before
+// returning 409.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"livegraph/internal/core"
+)
+
+// Server serves a core.Graph over HTTP.
+type Server struct {
+	G          *core.Graph
+	MaxRetries int
+	mux        *http.ServeMux
+}
+
+// New builds a server for g.
+func New(g *core.Graph) *Server {
+	s := &Server{G: g, MaxRetries: 16}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tx", s.handleTx)
+	mux.HandleFunc("GET /v1/vertex/", s.handleVertex)
+	mux.HandleFunc("GET /v1/edge/", s.handleEdge)
+	mux.HandleFunc("GET /v1/neighbors/", s.handleNeighbors)
+	mux.HandleFunc("GET /v1/degree/", s.handleDegree)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Op is one operation inside a transaction request.
+type Op struct {
+	Op    string `json:"op"`
+	ID    int64  `json:"id,omitempty"`
+	Src   int64  `json:"src,omitempty"`
+	Label int64  `json:"label,omitempty"`
+	Dst   int64  `json:"dst,omitempty"`
+	Data  []byte `json:"data,omitempty"`
+	Props []byte `json:"props,omitempty"`
+}
+
+// TxRequest is the transaction envelope.
+type TxRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+// TxResponse reports created vertex IDs (in AddVertex order).
+type TxResponse struct {
+	VertexIDs []int64 `json:"vertexIds,omitempty"`
+}
+
+func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
+	var req TxRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		httpErr(w, http.StatusBadRequest, "empty transaction")
+		return
+	}
+	var resp TxResponse
+	var lastErr error
+	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
+		resp = TxResponse{}
+		tx, err := s.G.Begin()
+		if err != nil {
+			httpErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		lastErr = s.applyOps(tx, req.Ops, &resp)
+		if lastErr != nil {
+			if core.IsRetryable(lastErr) {
+				continue
+			}
+			tx.Abort()
+			httpErr(w, http.StatusBadRequest, "%v", lastErr)
+			return
+		}
+		lastErr = tx.Commit()
+		if lastErr == nil {
+			writeJSON(w, resp)
+			return
+		}
+		if !core.IsRetryable(lastErr) {
+			httpErr(w, http.StatusInternalServerError, "%v", lastErr)
+			return
+		}
+	}
+	httpErr(w, http.StatusConflict, "transaction kept conflicting: %v", lastErr)
+}
+
+func (s *Server) applyOps(tx *core.Tx, ops []Op, resp *TxResponse) error {
+	for _, op := range ops {
+		switch op.Op {
+		case "addVertex":
+			id, err := tx.AddVertex(op.Data)
+			if err != nil {
+				return err
+			}
+			resp.VertexIDs = append(resp.VertexIDs, int64(id))
+		case "putVertex":
+			if err := tx.PutVertex(core.VertexID(op.ID), op.Data); err != nil {
+				return err
+			}
+		case "delVertex":
+			if err := tx.DeleteVertex(core.VertexID(op.ID)); err != nil {
+				return err
+			}
+		case "insertEdge":
+			if err := tx.InsertEdge(core.VertexID(op.Src), core.Label(op.Label), core.VertexID(op.Dst), op.Props); err != nil {
+				return err
+			}
+		case "upsertEdge":
+			if err := tx.AddEdge(core.VertexID(op.Src), core.Label(op.Label), core.VertexID(op.Dst), op.Props); err != nil {
+				return err
+			}
+		case "deleteEdge":
+			err := tx.DeleteEdge(core.VertexID(op.Src), core.Label(op.Label), core.VertexID(op.Dst))
+			if err != nil && err != core.ErrNotFound {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown op %q", op.Op)
+		}
+	}
+	return nil
+}
+
+// pathInts parses the numeric tail segments of a URL path after prefix.
+func pathInts(path, prefix string, n int) ([]int64, error) {
+	rest := strings.TrimPrefix(path, prefix)
+	parts := strings.Split(strings.Trim(rest, "/"), "/")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d path segments, got %d", n, len(parts))
+	}
+	out := make([]int64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("segment %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	ids, err := pathInts(r.URL.Path, "/v1/vertex/", 1)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tx, err := s.G.BeginRead()
+	if err != nil {
+		httpErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer tx.Commit()
+	data, err := tx.GetVertex(core.VertexID(ids[0]))
+	if err != nil {
+		httpErr(w, http.StatusNotFound, "vertex %d not found", ids[0])
+		return
+	}
+	writeJSON(w, map[string][]byte{"data": data})
+}
+
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	ids, err := pathInts(r.URL.Path, "/v1/edge/", 3)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tx, err := s.G.BeginRead()
+	if err != nil {
+		httpErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer tx.Commit()
+	props, err := tx.GetEdge(core.VertexID(ids[0]), core.Label(ids[1]), core.VertexID(ids[2]))
+	if err != nil {
+		httpErr(w, http.StatusNotFound, "edge not found")
+		return
+	}
+	writeJSON(w, map[string][]byte{"props": props})
+}
+
+// Neighbor is one adjacency list element.
+type Neighbor struct {
+	Dst   int64  `json:"dst"`
+	Props []byte `json:"props,omitempty"`
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	ids, err := pathInts(r.URL.Path, "/v1/neighbors/", 2)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		limit, _ = strconv.Atoi(q)
+	}
+	tx, err := s.G.BeginRead()
+	if err != nil {
+		httpErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer tx.Commit()
+	out := []Neighbor{}
+	it := tx.Neighbors(core.VertexID(ids[0]), core.Label(ids[1]))
+	for it.Next() {
+		out = append(out, Neighbor{Dst: int64(it.Dst()), Props: append([]byte(nil), it.Props()...)})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleDegree(w http.ResponseWriter, r *http.Request) {
+	ids, err := pathInts(r.URL.Path, "/v1/degree/", 2)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tx, err := s.G.BeginRead()
+	if err != nil {
+		httpErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer tx.Commit()
+	writeJSON(w, map[string]int{"degree": tx.Degree(core.VertexID(ids[0]), core.Label(ids[1]))})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.G.Stats()
+	al := s.G.AllocStats()
+	writeJSON(w, map[string]int64{
+		"commits":         st.Commits.Load(),
+		"aborts":          st.Aborts.Load(),
+		"compactions":     st.Compactions.Load(),
+		"upgrades":        st.Upgrades.Load(),
+		"bloomSkips":      st.BloomSkips.Load(),
+		"vertices":        s.G.NumVertices(),
+		"readEpoch":       s.G.ReadEpoch(),
+		"allocatedBlocks": al.AllocatedBlocks,
+		"allocatedBytes":  al.AllocatedWords * 8,
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.G.Checkpoint(); err != nil {
+		httpErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"livegraph/internal/core"
+)
+
+func startServer(t *testing.T, opts core.Options) (*Client, *core.Graph) {
+	t.Helper()
+	g, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(g))
+	t.Cleanup(func() { ts.Close(); g.Close() })
+	return NewClient(ts.URL), g
+}
+
+func TestVertexAndEdgeRoundTrip(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	ids, err := c.Tx(
+		Op{Op: "addVertex", Data: []byte("alice")},
+		Op{Op: "addVertex", Data: []byte("bob")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("ids %v", ids)
+	}
+	if _, err := c.Tx(Op{Op: "insertEdge", Src: ids[0], Label: 3, Dst: ids[1], Props: []byte("knows")}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.Vertex(ids[0])
+	if err != nil || string(data) != "alice" {
+		t.Fatalf("vertex %q %v", data, err)
+	}
+	props, err := c.Edge(ids[0], 3, ids[1])
+	if err != nil || string(props) != "knows" {
+		t.Fatalf("edge %q %v", props, err)
+	}
+	nbrs, err := c.Neighbors(ids[0], 3, 0)
+	if err != nil || len(nbrs) != 1 || nbrs[0].Dst != ids[1] {
+		t.Fatalf("neighbors %v %v", nbrs, err)
+	}
+	d, err := c.Degree(ids[0], 3)
+	if err != nil || d != 1 {
+		t.Fatalf("degree %d %v", d, err)
+	}
+}
+
+func TestTxAtomicity(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	ids, _ := c.Tx(Op{Op: "addVertex"})
+	// A transaction with a bad op must apply none of its effects.
+	_, err := c.Tx(
+		Op{Op: "insertEdge", Src: ids[0], Label: 0, Dst: 99},
+		Op{Op: "bogus"},
+	)
+	if err == nil {
+		t.Fatal("bad op accepted")
+	}
+	if d, _ := c.Degree(ids[0], 0); d != 0 {
+		t.Fatalf("partial transaction applied, degree %d", d)
+	}
+}
+
+func TestUpsertAndDeleteViaAPI(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	ids, _ := c.Tx(Op{Op: "addVertex"}, Op{Op: "addVertex"})
+	c.Tx(Op{Op: "upsertEdge", Src: ids[0], Dst: ids[1], Props: []byte("v1")})
+	c.Tx(Op{Op: "upsertEdge", Src: ids[0], Dst: ids[1], Props: []byte("v2")})
+	if d, _ := c.Degree(ids[0], 0); d != 1 {
+		t.Fatalf("upsert duplicated, degree %d", d)
+	}
+	p, _ := c.Edge(ids[0], 0, ids[1])
+	if string(p) != "v2" {
+		t.Fatalf("props %q", p)
+	}
+	if _, err := c.Tx(Op{Op: "deleteEdge", Src: ids[0], Dst: ids[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Edge(ids[0], 0, ids[1]); err == nil || !strings.Contains(err.Error(), "404") && !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("deleted edge err %v", err)
+	}
+	// Deleting a missing edge is a no-op, not an error.
+	if _, err := c.Tx(Op{Op: "deleteEdge", Src: ids[0], Dst: 424242}); err != nil {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestNotFoundAndBadRequests(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	if _, err := c.Vertex(9999); err == nil {
+		t.Fatal("missing vertex did not error")
+	}
+	if _, err := c.Tx(); err == nil {
+		t.Fatal("empty tx accepted")
+	}
+	resp, err := c.HC.Get(c.Base + "/v1/vertex/notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad id status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentClientsRetrySafely(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	ids, _ := c.Tx(Op{Op: "addVertex"}, Op{Op: "addVertex"})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				// Everyone upserts the same edge: server-side retry must
+				// absorb the conflicts.
+				if _, err := c.Tx(Op{Op: "upsertEdge", Src: ids[0], Dst: ids[1], Props: []byte{byte(w)}}); err != nil {
+					t.Errorf("tx: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d, _ := c.Degree(ids[0], 0); d != 1 {
+		t.Fatalf("degree %d after concurrent upserts", d)
+	}
+}
+
+func TestNeighborsLimitAndOrder(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	ids, _ := c.Tx(Op{Op: "addVertex"})
+	for i := int64(0); i < 20; i++ {
+		c.Tx(Op{Op: "insertEdge", Src: ids[0], Dst: 100 + i})
+	}
+	nbrs, err := c.Neighbors(ids[0], 0, 5)
+	if err != nil || len(nbrs) != 5 {
+		t.Fatalf("limit: %v %v", nbrs, err)
+	}
+	// Newest first.
+	if nbrs[0].Dst != 119 || nbrs[4].Dst != 115 {
+		t.Fatalf("order %v", nbrs)
+	}
+}
+
+func TestStatsAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := startServer(t, core.Options{Dir: dir})
+	ids, _ := c.Tx(Op{Op: "addVertex", Data: []byte("x")})
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["commits"] < 1 || st["vertices"] != 1 {
+		t.Fatalf("stats %v", st)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	_ = ids
+}
+
+func TestVertexUpdateDelete(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	ids, _ := c.Tx(Op{Op: "addVertex", Data: []byte("v1")})
+	if _, err := c.Tx(Op{Op: "putVertex", ID: ids[0], Data: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.Vertex(ids[0])
+	if string(d) != "v2" {
+		t.Fatalf("vertex %q", d)
+	}
+	if _, err := c.Tx(Op{Op: "delVertex", ID: ids[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Vertex(ids[0]); err == nil {
+		t.Fatal("deleted vertex still readable")
+	}
+}

@@ -1,0 +1,330 @@
+// Package tel implements the Transactional Edge Log (paper §3, Figure 3):
+// LiveGraph's multi-versioned, log-structured adjacency list stored in one
+// contiguous block so that scans are purely sequential even under concurrent
+// transactions.
+//
+// Block layout (within a storage.Block's word region):
+//
+//	word 0              source vertex ID
+//	word 1              label
+//	word 2              commit timestamp CT        (atomic)
+//	word 3              committed log size LS      (atomic, in entries)
+//	word 4              committed property size PS (atomic, in bytes)
+//	word 5              reserved
+//	words 6 .. 6+F      blocked Bloom filter (F = bloom.WordsFor(block size))
+//	words 6+F ..        fixed-size edge log entries, 4 words each
+//
+// An edge log entry is 32 bytes: destination vertex, creation timestamp,
+// invalidation timestamp, and a property reference (offset|size into the
+// block's byte region). Both timestamps are aligned 8-byte words accessed
+// with sync/atomic — the Go analogue of the paper's cache-aligned fields
+// that let readers check entry visibility without locks mid-scan.
+//
+// The paper appends entries right-to-left and properties left-to-right
+// within one allocation; here entries grow upward in the word region and
+// properties upward in the parallel byte region of the same block. Scans
+// iterate newest-to-oldest (descending index), which is the same sequential,
+// time-locality-friendly order.
+//
+// Writers (one at a time per TEL, enforced by the vertex lock) append
+// tentatively past the committed LS; the entry count and property length a
+// transaction sees for its own TEL writes are carried in transaction state
+// and published to LS/PS only at apply time, so aborted appends are simply
+// overwritten by the next writer.
+package tel
+
+import (
+	"sync/atomic"
+
+	"livegraph/internal/bloom"
+	"livegraph/internal/mvcc"
+	"livegraph/internal/storage"
+)
+
+const (
+	// HeaderWords is the fixed TEL header size in 8-byte words.
+	HeaderWords = 6
+	// EntryWords is the fixed edge log entry size in 8-byte words (32 B).
+	EntryWords = 4
+
+	propOffShift = 24
+	propSizeMask = (1 << propOffShift) - 1
+)
+
+const (
+	hdrSrc = iota
+	hdrLabel
+	hdrCT
+	hdrLS
+	hdrPS
+	hdrReserved
+)
+
+// TEL wraps a storage block as a Transactional Edge Log. Prev links to the
+// superseded version of this adjacency list (after an upgrade or
+// compaction), mirroring the paper's per-TEL "previous" pointers.
+type TEL struct {
+	Block *storage.Block
+	Prev  *TEL
+
+	entryBase int // word index where entries start
+	entryCap  int
+	filter    bloom.Filter
+}
+
+// New allocates a TEL for (src, label) able to hold at least minEntries
+// edge log entries and minPropBytes of property payload.
+func New(h *storage.Handle, src, label int64, minEntries, minPropBytes int) *TEL {
+	class := classFor(minEntries, minPropBytes)
+	b := h.Alloc(class)
+	t := wrap(b)
+	b.Words[hdrSrc] = src
+	b.Words[hdrLabel] = label
+	b.Words[hdrCT] = 0
+	b.Words[hdrLS] = 0
+	b.Words[hdrPS] = 0
+	return t
+}
+
+// classFor picks the smallest block class that fits the header, filter,
+// entries and property bytes.
+func classFor(entries, propBytes int) int {
+	class := 0
+	for {
+		words := storage.WordCap(class)
+		f := bloom.WordsFor(words)
+		capEntries := (words - HeaderWords - f) / EntryWords
+		if capEntries >= entries && storage.ByteCap(class) >= propBytes {
+			return class
+		}
+		class++
+		if class >= storage.NumClasses {
+			panic("tel: adjacency list exceeds maximum block size")
+		}
+	}
+}
+
+// Wrap reinterprets an existing block as a TEL (used by recovery and tests).
+func Wrap(b *storage.Block) *TEL { return wrap(b) }
+
+func wrap(b *storage.Block) *TEL {
+	f := bloom.WordsFor(len(b.Words))
+	base := HeaderWords + f
+	return &TEL{
+		Block:     b,
+		entryBase: base,
+		entryCap:  (len(b.Words) - base) / EntryWords,
+		filter:    bloom.View(b.Words[HeaderWords : HeaderWords+f]),
+	}
+}
+
+// Src returns the source vertex this adjacency list belongs to.
+func (t *TEL) Src() int64 { return t.Block.Words[hdrSrc] }
+
+// Label returns the edge label of this adjacency list.
+func (t *TEL) Label() int64 { return t.Block.Words[hdrLabel] }
+
+// EntryCap returns how many edge log entries the block can hold.
+func (t *TEL) EntryCap() int { return t.entryCap }
+
+// PropCap returns the property byte capacity of the block.
+func (t *TEL) PropCap() int { return len(t.Block.Bytes) }
+
+// CommitTS returns the TEL's commit timestamp CT: the timestamp of the
+// latest transaction that modified it. Writers compare their read epoch
+// against CT to detect write-write conflicts cheaply (first-committer-wins)
+// instead of scanning the log.
+func (t *TEL) CommitTS() int64 { return atomic.LoadInt64(&t.Block.Words[hdrCT]) }
+
+// Len returns the committed number of edge log entries (LS).
+func (t *TEL) Len() int { return int(atomic.LoadInt64(&t.Block.Words[hdrLS])) }
+
+// PropLen returns the committed property byte length (PS).
+func (t *TEL) PropLen() int { return int(atomic.LoadInt64(&t.Block.Words[hdrPS])) }
+
+// Publish atomically exposes n entries / propLen property bytes and stamps
+// the commit timestamp — the apply-phase "update tail" step. The entry
+// contents must already be fully written; the atomic LS store is the release
+// barrier concurrent readers synchronise on.
+func (t *TEL) Publish(n, propLen int, ts int64) {
+	atomic.StoreInt64(&t.Block.Words[hdrCT], ts)
+	atomic.StoreInt64(&t.Block.Words[hdrPS], int64(propLen))
+	atomic.StoreInt64(&t.Block.Words[hdrLS], int64(n))
+}
+
+// Fits reports whether one more entry with propBytes of properties fits
+// given the tentative sizes (n entries, propLen bytes already used).
+func (t *TEL) Fits(n, propLen, propBytes int) bool {
+	return n < t.entryCap && propLen+propBytes <= len(t.Block.Bytes)
+}
+
+// Append writes an edge log entry at slot n with the given destination,
+// creation timestamp (normally -TID during the work phase) and properties,
+// whose bytes are copied into the block at offset propLen. It returns the
+// new property length. The caller must hold the vertex lock and must have
+// checked Fits.
+//
+// The entry's invalidation timestamp is set to NullTS. The Bloom filter is
+// updated so later operations on the same destination take the scan path.
+func (t *TEL) Append(n int, dst, creation int64, props []byte, propLen int) int {
+	w := t.entryBase + n*EntryWords
+	words := t.Block.Words
+	words[w+0] = dst
+	copy(t.Block.Bytes[propLen:], props)
+	words[w+3] = int64(propLen)<<propOffShift | int64(len(props))
+	// Timestamps are stored atomically: a concurrent reader racing past the
+	// committed LS of a *previous* version must never observe a torn word.
+	atomic.StoreInt64(&words[w+2], mvcc.NullTS)
+	atomic.StoreInt64(&words[w+1], creation)
+	t.filter.Add(uint64(dst))
+	return propLen + len(props)
+}
+
+// Dst returns entry i's destination vertex.
+func (t *TEL) Dst(i int) int64 { return t.Block.Words[t.entryBase+i*EntryWords] }
+
+// Creation returns entry i's creation timestamp.
+func (t *TEL) Creation(i int) int64 {
+	return atomic.LoadInt64(&t.Block.Words[t.entryBase+i*EntryWords+1])
+}
+
+// SetCreation atomically stores entry i's creation timestamp (the apply
+// phase's -TID → TWE flip).
+func (t *TEL) SetCreation(i int, ts int64) {
+	atomic.StoreInt64(&t.Block.Words[t.entryBase+i*EntryWords+1], ts)
+}
+
+// Invalidation returns entry i's invalidation timestamp.
+func (t *TEL) Invalidation(i int) int64 {
+	return atomic.LoadInt64(&t.Block.Words[t.entryBase+i*EntryWords+2])
+}
+
+// SetInvalidation atomically stores entry i's invalidation timestamp.
+func (t *TEL) SetInvalidation(i int, ts int64) {
+	atomic.StoreInt64(&t.Block.Words[t.entryBase+i*EntryWords+2], ts)
+}
+
+// CASInvalidation atomically replaces entry i's invalidation timestamp if it
+// still holds old. Used when aborting (revert -TID → NULL).
+func (t *TEL) CASInvalidation(i int, old, new int64) bool {
+	return atomic.CompareAndSwapInt64(&t.Block.Words[t.entryBase+i*EntryWords+2], old, new)
+}
+
+// Props returns entry i's property bytes (a sub-slice of the block; callers
+// must copy if they retain it beyond the transaction).
+func (t *TEL) Props(i int) []byte {
+	ref := t.Block.Words[t.entryBase+i*EntryWords+3]
+	off := ref >> propOffShift
+	size := ref & propSizeMask
+	return t.Block.Bytes[off : off+size]
+}
+
+// pageWords is 4096 bytes of words — the unit of the out-of-core paging
+// model (one OS page).
+const pageWords = 512
+
+// EntryPage returns the global arena 4KB-page index that entry i's words
+// live on. The out-of-core simulation charges page faults at this
+// granularity, like mmap over the paper's single file: small neighboring
+// blocks share pages, and a partial newest-first scan of a large block
+// touches only its tail pages.
+func (t *TEL) EntryPage(i int) int64 {
+	return (t.Block.Off + int64(t.entryBase+i*EntryWords)) / pageWords
+}
+
+// FirstPage returns the global page of the block's header.
+func (t *TEL) FirstPage() int64 { return t.Block.Off / pageWords }
+
+// LastPage returns the global page of the block's final word.
+func (t *TEL) LastPage() int64 {
+	return (t.Block.Off + int64(len(t.Block.Words)) - 1) / pageWords
+}
+
+// MayContain consults the embedded Bloom filter: false means dst was
+// certainly never inserted into this block, so an insertion can skip the
+// previous-version scan (the paper's "early rejection").
+func (t *TEL) MayContain(dst int64) bool { return t.filter.MayContain(uint64(dst)) }
+
+// FilterEmpty reports whether the block is too small to carry a filter.
+func (t *TEL) FilterEmpty() bool { return t.filter.Empty() }
+
+// FindLatest scans tail-to-head over the first n entries for the most
+// recent entry for dst that is visible at (tre, tid) — the lookup an edge
+// update/delete performs to find the version it must invalidate, and the
+// read path for a single edge. Returns the entry index or -1.
+func (t *TEL) FindLatest(dst int64, n int, tre, tid int64) int {
+	for i := n - 1; i >= 0; i-- {
+		if t.Dst(i) != dst {
+			continue
+		}
+		if mvcc.Visible(t.Creation(i), t.Invalidation(i), tre, tid) {
+			return i
+		}
+	}
+	return -1
+}
+
+// CopyAllFrom bulk-copies src's first n entries and propLen property bytes
+// into t (which must be empty and large enough), preserving property
+// offsets, and rebuilds the Bloom filter. This is the block "upgrade" path:
+// the new block carries the identical committed prefix, so swapping the
+// index pointer is safe mid-transaction.
+func (t *TEL) CopyAllFrom(src *TEL, n, propLen int) {
+	copy(t.Block.Words[t.entryBase:], src.Block.Words[src.entryBase:src.entryBase+n*EntryWords])
+	copy(t.Block.Bytes, src.Block.Bytes[:propLen])
+	t.Block.Words[hdrSrc] = src.Block.Words[hdrSrc]
+	t.Block.Words[hdrLabel] = src.Block.Words[hdrLabel]
+	atomic.StoreInt64(&t.Block.Words[hdrCT], src.CommitTS())
+	atomic.StoreInt64(&t.Block.Words[hdrPS], int64(src.PropLen()))
+	atomic.StoreInt64(&t.Block.Words[hdrLS], int64(src.Len()))
+	t.filter.Reset()
+	for i := 0; i < n; i++ {
+		t.filter.Add(uint64(t.Dst(i)))
+	}
+	t.Prev = src
+}
+
+// CompactAppend copies entry i of src (with its properties) to slot n of t,
+// re-packing properties at propLen. Returns the new property length. Used
+// by compaction, which keeps only entries still visible to some epoch.
+func (t *TEL) CompactAppend(src *TEL, i, n, propLen int) int {
+	props := src.Props(i)
+	w := t.entryBase + n*EntryWords
+	words := t.Block.Words
+	words[w+0] = src.Dst(i)
+	copy(t.Block.Bytes[propLen:], props)
+	words[w+3] = int64(propLen)<<propOffShift | int64(len(props))
+	atomic.StoreInt64(&words[w+2], src.Invalidation(i))
+	atomic.StoreInt64(&words[w+1], src.Creation(i))
+	t.filter.Add(uint64(src.Dst(i)))
+	return propLen + len(props)
+}
+
+// Iter is a purely sequential scan over the first n entries of a TEL,
+// newest first, yielding only entries visible at (tre, tid). It performs no
+// allocation and no random access: visibility is decided from the two
+// timestamps embedded in each fixed-size entry (paper §4, "Sequential
+// adjacency list scans").
+type Iter struct {
+	t        *TEL
+	i        int
+	tre, tid int64
+}
+
+// Scan returns an iterator over the first n entries (pass t.Len() for a
+// committed snapshot scan, or the transaction's tentative count to include
+// its own writes).
+func (t *TEL) Scan(n int, tre, tid int64) Iter {
+	return Iter{t: t, i: n, tre: tre, tid: tid}
+}
+
+// Next advances to the next visible entry, returning its index, or -1 when
+// the scan is complete.
+func (it *Iter) Next() int {
+	for it.i--; it.i >= 0; it.i-- {
+		if mvcc.Visible(it.t.Creation(it.i), it.t.Invalidation(it.i), it.tre, it.tid) {
+			return it.i
+		}
+	}
+	return -1
+}

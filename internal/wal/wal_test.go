@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"livegraph/internal/iosim"
+)
+
+func openTemp(t *testing.T) (*Log, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := Open(path, iosim.NewDevice(iosim.Null))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	l, path := openTemp(t)
+	if err := l.AppendGroup(1, [][]byte{[]byte("alpha"), []byte("beta")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendGroup(2, [][]byte{[]byte("gamma")}); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	var epochs []int64
+	err := Replay(path, 0, func(e int64, rec []byte) error {
+		epochs = append(epochs, e)
+		got = append(got, string(rec))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "beta", "gamma"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if epochs[0] != 1 || epochs[1] != 1 || epochs[2] != 2 {
+		t.Fatalf("epochs %v", epochs)
+	}
+}
+
+func TestReplayAfterEpochSkips(t *testing.T) {
+	l, path := openTemp(t)
+	l.AppendGroup(1, [][]byte{[]byte("old")})
+	l.AppendGroup(5, [][]byte{[]byte("new")})
+	var got []string
+	Replay(path, 1, func(e int64, rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	})
+	if len(got) != 1 || got[0] != "new" {
+		t.Fatalf("got %v, want [new]", got)
+	}
+}
+
+func TestReplayStopsAtTornTail(t *testing.T) {
+	l, path := openTemp(t)
+	l.AppendGroup(1, [][]byte{[]byte("good")})
+	l.AppendGroup(2, [][]byte{[]byte("will-be-torn")})
+	l.Close()
+	// Tear the last record: chop 3 bytes off the file.
+	st, _ := os.Stat(path)
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := Replay(path, 0, func(e int64, rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "good" {
+		t.Fatalf("got %v, want [good]", got)
+	}
+}
+
+func TestReplayStopsAtCorruptPayload(t *testing.T) {
+	l, path := openTemp(t)
+	l.AppendGroup(1, [][]byte{[]byte("good")})
+	l.AppendGroup(2, [][]byte{bytes.Repeat([]byte{0xAB}, 32)})
+	l.Close()
+	// Flip a payload byte of the second record.
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	var n int
+	Replay(path, 0, func(e int64, rec []byte) error { n++; return nil })
+	if n != 1 {
+		t.Fatalf("replayed %d records, want 1 (stop at corruption)", n)
+	}
+}
+
+func TestReplayMissingFileIsEmpty(t *testing.T) {
+	err := Replay(filepath.Join(t.TempDir(), "nope.log"), 0, func(int64, []byte) error {
+		t.Fatal("callback on missing file")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	l, path := openTemp(t)
+	l.AppendGroup(1, [][]byte{[]byte("x")})
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	l.AppendGroup(9, [][]byte{[]byte("y")})
+	var got []string
+	Replay(path, 0, func(e int64, rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	})
+	if len(got) != 1 || got[0] != "y" {
+		t.Fatalf("got %v after reset", got)
+	}
+}
+
+func TestAppendedBytes(t *testing.T) {
+	l, _ := openTemp(t)
+	l.AppendGroup(1, [][]byte{make([]byte, 100)})
+	if got := l.AppendedBytes(); got != 100+16 {
+		t.Fatalf("AppendedBytes = %d, want 116", got)
+	}
+}
+
+func TestDeviceCharged(t *testing.T) {
+	dir := t.TempDir()
+	dev := iosim.NewDevice(iosim.Null)
+	l, err := Open(filepath.Join(dir, "w.log"), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.AppendGroup(1, [][]byte{[]byte("abc")})
+	s := dev.Stats()
+	if s.Syncs != 1 || s.BytesWritten != 3+16 {
+		t.Fatalf("device stats %+v", s)
+	}
+}
+
+func TestCheckpointMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadCheckpointMeta(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	want := CheckpointMeta{Epoch: 42, Path: "ckpt-42.snap"}
+	if err := WriteCheckpointMeta(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadCheckpointMeta(dir)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	// Overwrite with a newer checkpoint.
+	want2 := CheckpointMeta{Epoch: 99, Path: "ckpt-99.snap"}
+	WriteCheckpointMeta(dir, want2)
+	got, _, _ = ReadCheckpointMeta(dir)
+	if got != want2 {
+		t.Fatalf("got %+v, want %+v", got, want2)
+	}
+}

@@ -1,0 +1,80 @@
+// Package kron generates synthetic power-law graphs with the R-MAT /
+// Kronecker recursive-partitioning model (paper §2.1, ref [41]): the
+// Figure 1 micro-benchmark runs over Kronecker graphs of scale 2^20–2^26
+// with average degree 4.
+package kron
+
+import "math/rand"
+
+// Params are the R-MAT quadrant probabilities. Defaults follow the
+// Graph500/Kronecker convention (a=0.57, b=0.19, c=0.19, d=0.05), which
+// yields the heavy power-law degree skew of real social graphs.
+type Params struct {
+	A, B, C float64 // D is implied: 1-A-B-C
+}
+
+// DefaultParams is the Graph500 parameterisation.
+var DefaultParams = Params{A: 0.57, B: 0.19, C: 0.19}
+
+// Edge is one directed edge.
+type Edge struct {
+	Src, Dst int64
+}
+
+// Generate produces approximately avgDegree * 2^scale edges over the
+// vertex space [0, 2^scale) using R-MAT with the given seed.
+func Generate(scale int, avgDegree int, seed int64, p Params) []Edge {
+	n := int64(1) << scale
+	m := n * int64(avgDegree)
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		edges = append(edges, genEdge(scale, rng, p))
+	}
+	return edges
+}
+
+func genEdge(scale int, rng *rand.Rand, p Params) Edge {
+	var src, dst int64
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left: no bits set
+		case r < p.A+p.B:
+			dst |= 1 << bit
+		case r < p.A+p.B+p.C:
+			src |= 1 << bit
+		default:
+			src |= 1 << bit
+			dst |= 1 << bit
+		}
+	}
+	return Edge{src, dst}
+}
+
+// DegreeSampler draws start vertices with probability proportional to
+// their degree — the paper's micro-benchmark selects scan start vertices
+// "randomly under a power-law distribution", which degree-proportional
+// sampling realises exactly on a power-law graph.
+type DegreeSampler struct {
+	srcs []int64
+	rng  *rand.Rand
+}
+
+// NewDegreeSampler builds a sampler over the edge list.
+func NewDegreeSampler(edges []Edge, seed int64) *DegreeSampler {
+	srcs := make([]int64, len(edges))
+	for i, e := range edges {
+		srcs[i] = e.Src
+	}
+	return &DegreeSampler{srcs: srcs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next start vertex.
+func (s *DegreeSampler) Next() int64 {
+	if len(s.srcs) == 0 {
+		return 0
+	}
+	return s.srcs[s.rng.Intn(len(s.srcs))]
+}

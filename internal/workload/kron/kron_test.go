@@ -1,0 +1,78 @@
+package kron
+
+import "testing"
+
+func TestGenerateSizeAndRange(t *testing.T) {
+	const scale, deg = 10, 4
+	edges := Generate(scale, deg, 1, DefaultParams)
+	if len(edges) != (1<<scale)*deg {
+		t.Fatalf("edges %d", len(edges))
+	}
+	n := int64(1) << scale
+	for _, e := range edges {
+		if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n {
+			t.Fatalf("edge out of range: %v", e)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(8, 4, 7, DefaultParams)
+	b := Generate(8, 4, 7, DefaultParams)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := Generate(8, 4, 8, DefaultParams)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	// R-MAT with Graph500 params must concentrate edges: the top 1% of
+	// vertices should own far more than 1% of edges.
+	edges := Generate(12, 8, 3, DefaultParams)
+	deg := map[int64]int{}
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(len(edges)) / float64(int64(1)<<12)
+	if float64(maxDeg) < 10*avg {
+		t.Fatalf("max degree %d not skewed vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestDegreeSampler(t *testing.T) {
+	edges := []Edge{{5, 1}, {5, 2}, {5, 3}, {9, 1}}
+	s := NewDegreeSampler(edges, 1)
+	counts := map[int64]int{}
+	for i := 0; i < 4000; i++ {
+		counts[s.Next()]++
+	}
+	// Vertex 5 has 3x vertex 9's degree; sampling must reflect that.
+	if counts[5] < 2*counts[9] {
+		t.Fatalf("sampling not degree-proportional: %v", counts)
+	}
+	if counts[5]+counts[9] != 4000 {
+		t.Fatalf("sampled unknown vertex: %v", counts)
+	}
+	empty := NewDegreeSampler(nil, 1)
+	if empty.Next() != 0 {
+		t.Fatal("empty sampler should return 0")
+	}
+}

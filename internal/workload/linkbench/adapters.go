@@ -1,0 +1,165 @@
+package linkbench
+
+import (
+	"livegraph/internal/baseline"
+	"livegraph/internal/core"
+)
+
+// LiveGraphStore adapts a core.Graph to the LinkBench Store interface.
+// Every operation is one transaction (LinkBench operations are interactive
+// single-object requests); transient aborts are retried.
+type LiveGraphStore struct {
+	G     *core.Graph
+	Label core.Label
+}
+
+// Name implements Store.
+func (s *LiveGraphStore) Name() string { return "LiveGraph" }
+
+func (s *LiveGraphStore) retry(fn func(tx *core.Tx) error) {
+	for {
+		tx, err := s.G.Begin()
+		if err != nil {
+			return
+		}
+		if err := fn(tx); err != nil {
+			if core.IsRetryable(err) {
+				continue
+			}
+			tx.Abort()
+			return
+		}
+		if err := tx.Commit(); err == nil || !core.IsRetryable(err) {
+			return
+		}
+	}
+}
+
+// AddNode implements Store.
+func (s *LiveGraphStore) AddNode(data []byte) int64 {
+	var id core.VertexID
+	s.retry(func(tx *core.Tx) error {
+		var err error
+		id, err = tx.AddVertex(data)
+		return err
+	})
+	return int64(id)
+}
+
+// GetNode implements Store.
+func (s *LiveGraphStore) GetNode(id int64) ([]byte, bool) {
+	tx, err := s.G.BeginRead()
+	if err != nil {
+		return nil, false
+	}
+	defer tx.Commit()
+	data, err := tx.GetVertex(core.VertexID(id))
+	return data, err == nil
+}
+
+// UpdateNode implements Store.
+func (s *LiveGraphStore) UpdateNode(id int64, data []byte) bool {
+	ok := true
+	s.retry(func(tx *core.Tx) error {
+		return tx.PutVertex(core.VertexID(id), data)
+	})
+	return ok
+}
+
+// AddLink implements Store.
+func (s *LiveGraphStore) AddLink(src, dst int64, props []byte) {
+	s.retry(func(tx *core.Tx) error {
+		return tx.AddEdge(core.VertexID(src), s.Label, core.VertexID(dst), props)
+	})
+}
+
+// DeleteLink implements Store.
+func (s *LiveGraphStore) DeleteLink(src, dst int64) bool {
+	found := false
+	s.retry(func(tx *core.Tx) error {
+		err := tx.DeleteEdge(core.VertexID(src), s.Label, core.VertexID(dst))
+		if err == core.ErrNotFound {
+			return nil
+		}
+		found = err == nil
+		return err
+	})
+	return found
+}
+
+// GetLink implements Store.
+func (s *LiveGraphStore) GetLink(src, dst int64) ([]byte, bool) {
+	tx, err := s.G.BeginRead()
+	if err != nil {
+		return nil, false
+	}
+	defer tx.Commit()
+	p, err := tx.GetEdge(core.VertexID(src), s.Label, core.VertexID(dst))
+	return p, err == nil
+}
+
+// ScanLinks implements Store: the purely sequential newest-first TEL scan.
+func (s *LiveGraphStore) ScanLinks(src int64, limit int) int {
+	tx, err := s.G.BeginRead()
+	if err != nil {
+		return 0
+	}
+	defer tx.Commit()
+	it := tx.Neighbors(core.VertexID(src), s.Label)
+	n := 0
+	for it.Next() && n < limit {
+		n++
+	}
+	return n
+}
+
+// CountLinks implements Store.
+func (s *LiveGraphStore) CountLinks(src int64) int {
+	tx, err := s.G.BeginRead()
+	if err != nil {
+		return 0
+	}
+	defer tx.Commit()
+	return tx.Degree(core.VertexID(src), s.Label)
+}
+
+// BaselineStore adapts any baseline.EdgeStore (B+ tree, LSMT, linked list)
+// plus the shared NodeTable to the LinkBench Store interface.
+type BaselineStore struct {
+	Edges baseline.EdgeStore
+	Nodes baseline.NodeTable
+}
+
+// Name implements Store.
+func (s *BaselineStore) Name() string { return s.Edges.Name() }
+
+// AddNode implements Store.
+func (s *BaselineStore) AddNode(data []byte) int64 { return s.Nodes.AddNode(data) }
+
+// GetNode implements Store.
+func (s *BaselineStore) GetNode(id int64) ([]byte, bool) { return s.Nodes.GetNode(id) }
+
+// UpdateNode implements Store.
+func (s *BaselineStore) UpdateNode(id int64, data []byte) bool { return s.Nodes.UpdateNode(id, data) }
+
+// AddLink implements Store.
+func (s *BaselineStore) AddLink(src, dst int64, props []byte) { s.Edges.AddEdge(src, dst, props) }
+
+// DeleteLink implements Store.
+func (s *BaselineStore) DeleteLink(src, dst int64) bool { return s.Edges.DeleteEdge(src, dst) }
+
+// GetLink implements Store.
+func (s *BaselineStore) GetLink(src, dst int64) ([]byte, bool) { return s.Edges.GetEdge(src, dst) }
+
+// ScanLinks implements Store.
+func (s *BaselineStore) ScanLinks(src int64, limit int) int {
+	n := 0
+	s.Edges.ScanNeighbors(src, func(int64, []byte) bool {
+		n++
+		return n < limit
+	})
+	return n
+}
+
+// CountLinks implements Store.
+func (s *BaselineStore) CountLinks(src int64) int { return s.Edges.Degree(src) }

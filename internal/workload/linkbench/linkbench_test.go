@@ -1,0 +1,163 @@
+package linkbench
+
+import (
+	"math/rand"
+	"testing"
+
+	"livegraph/internal/baseline/adjlist"
+	"livegraph/internal/baseline/btree"
+	"livegraph/internal/baseline/lsmt"
+	"livegraph/internal/core"
+)
+
+func allStores(t testing.TB) []Store {
+	g, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return []Store{
+		&LiveGraphStore{G: g},
+		&BaselineStore{Edges: btree.New()},
+		&BaselineStore{Edges: lsmt.NewWithMemLimit(256)},
+		&BaselineStore{Edges: adjlist.New()},
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	// DFLT must be ~31% writes, TAO ~0.2% writes.
+	for _, tc := range []struct {
+		mix  Mix
+		want float64
+		tol  float64
+	}{{DFLT, 0.31, 0.02}, {TAO, 0.002, 0.001}} {
+		var total, writes float64
+		for op, w := range tc.mix.Weights {
+			total += w
+			if Op(op).IsWrite() {
+				writes += w
+			}
+		}
+		frac := writes / total
+		if frac < tc.want-tc.tol || frac > tc.want+tc.tol {
+			t.Errorf("%s write fraction %.4f, want ~%.3f", tc.mix.Name, frac, tc.want)
+		}
+	}
+}
+
+func TestWriteRatioMix(t *testing.T) {
+	for _, f := range []float64{0.25, 0.5, 0.75, 1.0} {
+		m := WriteRatioMix(f)
+		var total, writes float64
+		for op, w := range m.Weights {
+			total += w
+			if Op(op).IsWrite() {
+				writes += w
+			}
+		}
+		got := writes / total
+		if got < f-0.001 || got > f+0.001 {
+			t.Errorf("WriteRatioMix(%.2f) write fraction %.4f", f, got)
+		}
+	}
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	s := newSampler(DFLT)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[Op]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.next(rng)]++
+	}
+	// GET_LINKS_LIST should dominate at ~51.7%.
+	frac := float64(counts[OpGetLinkList]) / n
+	if frac < 0.48 || frac < 0.01 {
+		t.Fatalf("GET_LINKS_LIST fraction %.3f", frac)
+	}
+}
+
+func TestBuildLoadsBaseGraph(t *testing.T) {
+	for _, s := range allStores(t) {
+		bg := BaseGraph{Scale: 8, AvgDegree: 4, Seed: 1}
+		edges := Build(s, bg, 16)
+		if len(edges) != (1<<8)*4 {
+			t.Fatalf("%s: edge list %d", s.Name(), len(edges))
+		}
+		// Every generated source must have at least one link visible.
+		src := edges[0].Src
+		if n := s.CountLinks(src); n == 0 {
+			t.Fatalf("%s: no links for %d after build", s.Name(), src)
+		}
+		if _, ok := s.GetNode(5); !ok {
+			t.Fatalf("%s: node 5 missing", s.Name())
+		}
+	}
+}
+
+func TestRunAllStoresSmoke(t *testing.T) {
+	for _, s := range allStores(t) {
+		edges := Build(s, BaseGraph{Scale: 7, AvgDegree: 4, Seed: 2}, 16)
+		res := Run(s, edges, Config{Mix: DFLT, Clients: 4, Requests: 200, Seed: 3})
+		if res.Operations != 800 {
+			t.Fatalf("%s: ops %d", s.Name(), res.Operations)
+		}
+		if res.Hist.Count() != 800 {
+			t.Fatalf("%s: recorded %d", s.Name(), res.Hist.Count())
+		}
+		if res.Throughput() <= 0 {
+			t.Fatalf("%s: throughput %f", s.Name(), res.Throughput())
+		}
+		// Per-op histograms sum to the total.
+		var sum int64
+		for _, h := range res.PerOp {
+			sum += h.Count()
+		}
+		if sum != 800 {
+			t.Fatalf("%s: per-op sum %d", s.Name(), sum)
+		}
+	}
+}
+
+func TestLiveGraphStoreSemantics(t *testing.T) {
+	g, _ := core.Open(core.Options{})
+	defer g.Close()
+	s := &LiveGraphStore{G: g}
+	id := s.AddNode([]byte("n"))
+	if v, ok := s.GetNode(id); !ok || string(v) != "n" {
+		t.Fatalf("GetNode %q %v", v, ok)
+	}
+	s.UpdateNode(id, []byte("n2"))
+	if v, _ := s.GetNode(id); string(v) != "n2" {
+		t.Fatalf("after update %q", v)
+	}
+	s.AddLink(id, 99, []byte("l"))
+	if v, ok := s.GetLink(id, 99); !ok || string(v) != "l" {
+		t.Fatalf("GetLink %q %v", v, ok)
+	}
+	if n := s.ScanLinks(id, 10); n != 1 {
+		t.Fatalf("ScanLinks %d", n)
+	}
+	if n := s.CountLinks(id); n != 1 {
+		t.Fatalf("CountLinks %d", n)
+	}
+	if !s.DeleteLink(id, 99) {
+		t.Fatal("DeleteLink failed")
+	}
+	if s.DeleteLink(id, 99) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestScanLinksLimit(t *testing.T) {
+	g, _ := core.Open(core.Options{})
+	defer g.Close()
+	s := &LiveGraphStore{G: g}
+	src := s.AddNode(nil)
+	for i := 0; i < 50; i++ {
+		s.AddLink(src, int64(1000+i), nil)
+	}
+	if n := s.ScanLinks(src, 10); n != 10 {
+		t.Fatalf("limited scan returned %d", n)
+	}
+}

@@ -1,0 +1,206 @@
+package snb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterises the data generator. Persons scales the whole
+// dataset the way SNB's scale factor does: forums, posts, comments and the
+// knows graph all grow with it (SNB SF10 has 30M vertices / 177M edges; the
+// default config is a laptop-scale graph of the same shape).
+type GenConfig struct {
+	Persons int
+	Seed    int64
+}
+
+// DefaultGen is a laptop-scale dataset.
+var DefaultGen = GenConfig{Persons: 1000, Seed: 1}
+
+// Dataset records the generated entity IDs for the driver to sample from.
+type Dataset struct {
+	Persons  []int64
+	Forums   []int64
+	Posts    []int64
+	Comments []int64
+	Tags     []int64
+	Places   []int64
+	// names[i] is Persons[i]'s first name (drivers sample query parameters
+	// from real data like the official driver does).
+	Names []string
+
+	clock int64 // creation-date counter
+	rng   *rand.Rand
+}
+
+var firstNames = []string{
+	"Jan", "Maria", "Chen", "Amin", "Olga", "Raj", "Ana", "Luca", "Emre",
+	"Sofia", "Ivan", "Noor", "Kai", "Lena", "Omar", "Yuki",
+}
+
+var lastNames = []string{
+	"Smith", "Zhang", "Garcia", "Muller", "Singh", "Kim", "Rossi", "Silva",
+	"Novak", "Khan", "Sato", "Lopez",
+}
+
+var cities = []string{
+	"Beijing", "Amherst", "Doha", "Berlin", "Paris", "Lagos", "Lima", "Delhi",
+}
+
+var tagNames = []string{
+	"graphs", "databases", "vldb", "golang", "mvcc", "storage", "snapshots",
+	"transactions", "analytics", "socialnets", "benchmarks", "logs",
+}
+
+// NextTime returns a monotonically increasing creation date.
+func (d *Dataset) NextTime() int64 {
+	d.clock++
+	return d.clock
+}
+
+// Generate loads a dataset into the backend and returns the ID catalog.
+func Generate(b Backend, cfg GenConfig) (*Dataset, error) {
+	if cfg.Persons <= 0 {
+		cfg.Persons = DefaultGen.Persons
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{rng: rng}
+
+	// Tags and places.
+	err := b.Update(func(w WriteTx) error {
+		for _, name := range tagNames {
+			id, err := w.AddVertex(EncodeNamed(KindTag, name))
+			if err != nil {
+				return err
+			}
+			ds.Tags = append(ds.Tags, id)
+		}
+		for _, name := range cities {
+			id, err := w.AddVertex(EncodeNamed(KindPlace, name))
+			if err != nil {
+				return err
+			}
+			ds.Places = append(ds.Places, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Persons with interests.
+	for i := 0; i < cfg.Persons; i++ {
+		p := Person{
+			FirstName: firstNames[rng.Intn(len(firstNames))],
+			LastName:  lastNames[rng.Intn(len(lastNames))],
+			City:      cities[rng.Intn(len(cities))],
+		}
+		err := b.Update(func(w WriteTx) error {
+			id, err := w.AddVertex(EncodePerson(p))
+			if err != nil {
+				return err
+			}
+			ds.Persons = append(ds.Persons, id)
+			ds.Names = append(ds.Names, p.FirstName)
+			for t := 0; t < 3; t++ {
+				if err := w.AddEdge(id, LHasInterest, ds.Tags[rng.Intn(len(ds.Tags))], nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Knows graph: preferential attachment gives the power-law degree
+	// skew of SNB's person graph; both directions in one transaction.
+	avgFriends := 8
+	var friendPool []int
+	for i := range ds.Persons {
+		k := 1 + rng.Intn(2*avgFriends)
+		for f := 0; f < k; f++ {
+			var j int
+			if len(friendPool) > 0 && rng.Float64() < 0.7 {
+				j = friendPool[rng.Intn(len(friendPool))]
+			} else {
+				j = rng.Intn(len(ds.Persons))
+			}
+			if j == i {
+				continue
+			}
+			pi, pj := ds.Persons[i], ds.Persons[j]
+			err := b.Update(func(w WriteTx) error {
+				if err := w.AddEdge(pi, LKnows, pj, nil); err != nil {
+					return err
+				}
+				return w.AddEdge(pj, LKnows, pi, nil)
+			})
+			if err != nil {
+				return nil, err
+			}
+			friendPool = append(friendPool, i, j)
+		}
+	}
+
+	// Forums with members.
+	numForums := cfg.Persons/10 + 1
+	for f := 0; f < numForums; f++ {
+		err := b.Update(func(w WriteTx) error {
+			id, err := w.AddVertex(EncodeNamed(KindForum, fmt.Sprintf("forum-%d", f)))
+			if err != nil {
+				return err
+			}
+			ds.Forums = append(ds.Forums, id)
+			for m := 0; m < 20 && m < len(ds.Persons); m++ {
+				p := ds.Persons[rng.Intn(len(ds.Persons))]
+				if err := w.AddEdge(p, LMemberOf, id, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Posts (~3 per person) and comments (~1.5 per post).
+	for _, p := range ds.Persons {
+		for k := 0; k < 3; k++ {
+			forum := ds.Forums[rng.Intn(len(ds.Forums))]
+			tag := ds.Tags[rng.Intn(len(ds.Tags))]
+			post, err := AddPost(b, ds, p, forum, tag, fmt.Sprintf("post by %d", p))
+			if err != nil {
+				return nil, err
+			}
+			nc := rng.Intn(3)
+			for c := 0; c < nc; c++ {
+				commenter := ds.Persons[rng.Intn(len(ds.Persons))]
+				if _, err := AddComment(b, ds, commenter, post, "re"); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ds, nil
+}
+
+// RandPerson samples a person ID.
+func (d *Dataset) RandPerson(rng *rand.Rand) int64 {
+	return d.Persons[rng.Intn(len(d.Persons))]
+}
+
+// RandName samples a first name present in the data.
+func (d *Dataset) RandName(rng *rand.Rand) string {
+	return d.Names[rng.Intn(len(d.Names))]
+}
+
+// RandMessage samples a post or comment ID.
+func (d *Dataset) RandMessage(rng *rand.Rand) int64 {
+	if len(d.Comments) > 0 && rng.Intn(2) == 0 {
+		return d.Comments[rng.Intn(len(d.Comments))]
+	}
+	return d.Posts[rng.Intn(len(d.Posts))]
+}

@@ -1,0 +1,171 @@
+// Package snb implements a simplified LDBC Social Network Benchmark
+// interactive workload (paper §7.1/§7.3, ref [27]): a social-network schema
+// of persons, forums, posts, comments, tags and places connected by labeled
+// relations, a scale-factor data generator, the paper's case-study queries
+// (complex reads 1 and 13, short read 2, update transactions), and a driver
+// issuing the official request mix (7.26% complex reads, 63.82% short
+// reads, 28.91% updates).
+//
+// The workload runs against any Backend; three are provided (backends.go):
+// LiveGraph, a clustered edge-table store on a B+ tree (the Virtuoso-style
+// relational stand-in), and a heap-plus-index store (the PostgreSQL-style
+// stand-in without clustered indexes).
+package snb
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Edge labels of the simplified SNB schema.
+const (
+	LKnows       = iota // person -> person (stored in both directions)
+	LCreated            // person -> post|comment (newest first = timeline)
+	LHasCreator         // post|comment -> person
+	LContainerOf        // forum -> post
+	LReplyOf            // comment -> post|comment (toward the root)
+	LHasReply           // post|comment -> comment
+	LHasTag             // post|comment -> tag
+	LHasInterest        // person -> tag
+	LMemberOf           // person -> forum
+	NumLabels
+)
+
+// Vertex kinds.
+const (
+	KindPerson = iota + 1
+	KindForum
+	KindPost
+	KindComment
+	KindTag
+	KindPlace
+)
+
+// Person is a person vertex payload.
+type Person struct {
+	FirstName string
+	LastName  string
+	City      string
+}
+
+// Message is a post or comment payload.
+type Message struct {
+	Content      string
+	CreationDate int64
+}
+
+// EncodePerson serialises a person payload (kind byte + length-prefixed
+// strings).
+func EncodePerson(p Person) []byte {
+	buf := []byte{KindPerson}
+	buf = appendStr(buf, p.FirstName)
+	buf = appendStr(buf, p.LastName)
+	buf = appendStr(buf, p.City)
+	return buf
+}
+
+// DecodePerson parses a person payload.
+func DecodePerson(b []byte) (Person, error) {
+	if len(b) == 0 || b[0] != KindPerson {
+		return Person{}, fmt.Errorf("snb: not a person payload")
+	}
+	b = b[1:]
+	var p Person
+	var ok bool
+	if p.FirstName, b, ok = takeStr(b); !ok {
+		return p, fmt.Errorf("snb: truncated person")
+	}
+	if p.LastName, b, ok = takeStr(b); !ok {
+		return p, fmt.Errorf("snb: truncated person")
+	}
+	if p.City, _, ok = takeStr(b); !ok {
+		return p, fmt.Errorf("snb: truncated person")
+	}
+	return p, nil
+}
+
+// EncodeMessage serialises a post (kind=KindPost) or comment payload.
+func EncodeMessage(kind byte, m Message) []byte {
+	buf := []byte{kind}
+	var ts [8]byte
+	binary.LittleEndian.PutUint64(ts[:], uint64(m.CreationDate))
+	buf = append(buf, ts[:]...)
+	buf = appendStr(buf, m.Content)
+	return buf
+}
+
+// DecodeMessage parses a post/comment payload, returning its kind.
+func DecodeMessage(b []byte) (byte, Message, error) {
+	if len(b) < 9 || (b[0] != KindPost && b[0] != KindComment) {
+		return 0, Message{}, fmt.Errorf("snb: not a message payload")
+	}
+	kind := b[0]
+	m := Message{CreationDate: int64(binary.LittleEndian.Uint64(b[1:9]))}
+	var ok bool
+	if m.Content, _, ok = takeStr(b[9:]); !ok {
+		return 0, Message{}, fmt.Errorf("snb: truncated message")
+	}
+	return kind, m, nil
+}
+
+// EncodeNamed serialises a simple named vertex (forum, tag, place).
+func EncodeNamed(kind byte, name string) []byte {
+	return appendStr([]byte{kind}, name)
+}
+
+// DecodeNamed parses a named vertex payload.
+func DecodeNamed(b []byte) (byte, string, error) {
+	if len(b) == 0 {
+		return 0, "", fmt.Errorf("snb: empty payload")
+	}
+	name, _, ok := takeStr(b[1:])
+	if !ok {
+		return 0, "", fmt.Errorf("snb: truncated named vertex")
+	}
+	return b[0], name, nil
+}
+
+// Kind returns the vertex kind byte of a payload.
+func Kind(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func takeStr(b []byte) (string, []byte, bool) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", nil, false
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], true
+}
+
+// Backend is the system-under-test interface: short write transactions and
+// snapshot reads.
+type Backend interface {
+	Name() string
+	// Update runs fn atomically; returning an error aborts.
+	Update(fn func(w WriteTx) error) error
+	// Read runs fn on a consistent snapshot.
+	Read(fn func(r ReadTx) error) error
+}
+
+// WriteTx is the write-operation set update transactions need.
+type WriteTx interface {
+	AddVertex(data []byte) (int64, error)
+	AddEdge(src int64, label int, dst int64, props []byte) error
+}
+
+// ReadTx is the read-operation set queries need.
+type ReadTx interface {
+	Vertex(id int64) ([]byte, bool)
+	// ScanOut streams (id,label) edges newest-first; fn returning false
+	// stops.
+	ScanOut(id int64, label int, fn func(dst int64, props []byte) bool)
+}

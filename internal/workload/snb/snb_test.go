@@ -1,0 +1,279 @@
+package snb
+
+import (
+	"math/rand"
+	"testing"
+
+	"livegraph/internal/core"
+)
+
+func backends(t testing.TB) []Backend {
+	g, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return []Backend{
+		&LiveGraphBackend{G: g},
+		NewTableBackend(),
+		NewHeapBackend(),
+	}
+}
+
+func TestPayloadEncoding(t *testing.T) {
+	p := Person{FirstName: "Ada", LastName: "Lovelace", City: "London"}
+	got, err := DecodePerson(EncodePerson(p))
+	if err != nil || got != p {
+		t.Fatalf("person round trip: %+v %v", got, err)
+	}
+	if _, err := DecodePerson([]byte{KindForum, 0}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	m := Message{Content: "hello", CreationDate: 12345}
+	kind, gm, err := DecodeMessage(EncodeMessage(KindPost, m))
+	if err != nil || kind != KindPost || gm != m {
+		t.Fatalf("message round trip: %d %+v %v", kind, gm, err)
+	}
+	k, name, err := DecodeNamed(EncodeNamed(KindTag, "golang"))
+	if err != nil || k != KindTag || name != "golang" {
+		t.Fatalf("named round trip: %d %q %v", k, name, err)
+	}
+	if Kind(EncodePerson(p)) != KindPerson {
+		t.Fatal("Kind")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, b := range backends(t) {
+		ds, err := Generate(b, GenConfig{Persons: 100, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if len(ds.Persons) != 100 {
+			t.Fatalf("%s: persons %d", b.Name(), len(ds.Persons))
+		}
+		if len(ds.Posts) != 300 {
+			t.Fatalf("%s: posts %d", b.Name(), len(ds.Posts))
+		}
+		if len(ds.Forums) == 0 || len(ds.Tags) == 0 {
+			t.Fatalf("%s: missing forums/tags", b.Name())
+		}
+		// Knows must be symmetric.
+		err = b.Read(func(r ReadTx) error {
+			for _, p := range ds.Persons[:20] {
+				r.ScanOut(p, LKnows, func(friend int64, _ []byte) bool {
+					back := false
+					r.ScanOut(friend, LKnows, func(d int64, _ []byte) bool {
+						if d == p {
+							back = true
+							return false
+						}
+						return true
+					})
+					if !back {
+						t.Errorf("%s: knows(%d,%d) not symmetric", b.Name(), p, friend)
+					}
+					return true
+				})
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBackendsAgreeOnQueries(t *testing.T) {
+	// Generate the identical dataset on all backends (same seed) and check
+	// the three case-study queries return identical results.
+	bs := backends(t)
+	var datasets []*Dataset
+	for _, b := range bs {
+		ds, err := Generate(b, GenConfig{Persons: 80, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		datasets = append(datasets, ds)
+	}
+	// The generators are deterministic, so entity IDs line up across
+	// backends only if vertex IDs are allocated identically; verify.
+	for i := 1; i < len(bs); i++ {
+		if len(datasets[i].Persons) != len(datasets[0].Persons) {
+			t.Fatal("dataset shapes differ")
+		}
+		for j := range datasets[0].Persons {
+			if datasets[i].Persons[j] != datasets[0].Persons[j] {
+				t.Fatalf("person ids diverge at %d", j)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		p1 := datasets[0].RandPerson(rng)
+		p2 := datasets[0].RandPerson(rng)
+		name := datasets[0].RandName(rng)
+
+		ref1, err := ComplexRead1(bs[0], p1, name, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref13, _ := ComplexRead13(bs[0], p1, p2)
+		refS2, _ := ShortRead2(bs[0], p1)
+		for i := 1; i < len(bs); i++ {
+			got1, err := ComplexRead1(bs[i], p1, name, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got1) != len(ref1) {
+				t.Fatalf("%s: CR1 %d rows, want %d", bs[i].Name(), len(got1), len(ref1))
+			}
+			for j := range ref1 {
+				if got1[j].Person != ref1[j].Person || got1[j].Distance != ref1[j].Distance {
+					t.Fatalf("%s: CR1 row %d = %+v, want %+v", bs[i].Name(), j, got1[j], ref1[j])
+				}
+			}
+			got13, _ := ComplexRead13(bs[i], p1, p2)
+			if got13 != ref13 {
+				t.Fatalf("%s: CR13 = %d, want %d", bs[i].Name(), got13, ref13)
+			}
+			gotS2, _ := ShortRead2(bs[i], p1)
+			if len(gotS2) != len(refS2) {
+				t.Fatalf("%s: SR2 %d rows, want %d", bs[i].Name(), len(gotS2), len(refS2))
+			}
+			for j := range refS2 {
+				if gotS2[j].Message != refS2[j].Message || gotS2[j].RootPost != refS2[j].RootPost ||
+					gotS2[j].RootCreator != refS2[j].RootCreator {
+					t.Fatalf("%s: SR2 row %d = %+v, want %+v", bs[i].Name(), j, gotS2[j], refS2[j])
+				}
+			}
+		}
+	}
+}
+
+func TestComplexRead13Basics(t *testing.T) {
+	for _, b := range backends(t) {
+		// Build a tiny chain p0 - p1 - p2 and an isolated p3.
+		var ids []int64
+		err := b.Update(func(w WriteTx) error {
+			for i := 0; i < 4; i++ {
+				id, err := w.AddVertex(EncodePerson(Person{FirstName: "X"}))
+				if err != nil {
+					return err
+				}
+				ids = append(ids, id)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		AddFriendship(b, ids[0], ids[1])
+		AddFriendship(b, ids[1], ids[2])
+		if d, _ := ComplexRead13(b, ids[0], ids[0]); d != 0 {
+			t.Fatalf("%s: self distance %d", b.Name(), d)
+		}
+		if d, _ := ComplexRead13(b, ids[0], ids[1]); d != 1 {
+			t.Fatalf("%s: adjacent distance %d", b.Name(), d)
+		}
+		if d, _ := ComplexRead13(b, ids[0], ids[2]); d != 2 {
+			t.Fatalf("%s: 2-hop distance %d", b.Name(), d)
+		}
+		if d, _ := ComplexRead13(b, ids[0], ids[3]); d != -1 {
+			t.Fatalf("%s: disconnected distance %d", b.Name(), d)
+		}
+	}
+}
+
+func TestShortRead2ResolvesRoots(t *testing.T) {
+	for _, b := range backends(t) {
+		ds := &Dataset{}
+		var alice, bob, forum, tag int64
+		err := b.Update(func(w WriteTx) error {
+			var err error
+			if alice, err = w.AddVertex(EncodePerson(Person{FirstName: "Alice"})); err != nil {
+				return err
+			}
+			if bob, err = w.AddVertex(EncodePerson(Person{FirstName: "Bob"})); err != nil {
+				return err
+			}
+			if forum, err = w.AddVertex(EncodeNamed(KindForum, "f")); err != nil {
+				return err
+			}
+			tag, err = w.AddVertex(EncodeNamed(KindTag, "t"))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		post, err := AddPost(b, ds, alice, forum, tag, "root post")
+		if err != nil {
+			t.Fatal(err)
+		}
+		comment, err := AddComment(b, ds, bob, post, "reply")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply2, err := AddComment(b, ds, alice, comment, "reply to reply")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := ShortRead2(b, alice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Alice created the post and the nested reply; newest first.
+		if len(rows) != 2 {
+			t.Fatalf("%s: %d rows", b.Name(), len(rows))
+		}
+		if rows[0].Message != reply2 || rows[0].RootPost != post || rows[0].RootCreator != alice {
+			t.Fatalf("%s: row0 %+v", b.Name(), rows[0])
+		}
+		if rows[1].Message != post || rows[1].RootPost != post {
+			t.Fatalf("%s: row1 %+v", b.Name(), rows[1])
+		}
+	}
+}
+
+func TestDriverSmoke(t *testing.T) {
+	for _, b := range backends(t) {
+		ds, err := Generate(b, GenConfig{Persons: 60, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Run(b, ds, DriverConfig{Clients: 4, Requests: 30, Seed: 9})
+		if res.Operations != 120 || res.Hist.Count() != 120 {
+			t.Fatalf("%s: ops %d hist %d", b.Name(), res.Operations, res.Hist.Count())
+		}
+		var catSum int64
+		for _, h := range res.PerCategory {
+			catSum += h.Count()
+		}
+		if catSum != 120 {
+			t.Fatalf("%s: category sum %d", b.Name(), catSum)
+		}
+		// Complex-only mode.
+		res = Run(b, ds, DriverConfig{Clients: 2, Requests: 10, Seed: 9, ComplexOnly: true})
+		if res.PerCategory[CatShort].Count() != 0 || res.PerCategory[CatUpdate].Count() != 0 {
+			t.Fatalf("%s: complex-only ran other categories", b.Name())
+		}
+	}
+}
+
+func TestShortRead1(t *testing.T) {
+	b := backends(t)[0]
+	ds, err := Generate(b, GenConfig{Persons: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ShortRead1(b, ds.Persons[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.FirstName == "" {
+		t.Fatal("empty profile")
+	}
+	if prof.Friends == 0 {
+		t.Fatal("no friends counted (generator guarantees >= 1 attempt)")
+	}
+}

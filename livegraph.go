@@ -1,0 +1,130 @@
+// Package livegraph is a transactional graph storage system with purely
+// sequential adjacency list scans — a from-scratch Go implementation of
+// "LiveGraph: A Transactional Graph Storage System with Purely Sequential
+// Adjacency List Scans" (Zhu et al., VLDB 2020).
+//
+// LiveGraph stores each vertex's adjacency list (one per edge label) in a
+// Transactional Edge Log (TEL): a contiguous, multi-versioned log of edge
+// insertions, updates and deletions. Every edge log entry embeds a creation
+// and an invalidation timestamp, so a scan decides visibility from data it
+// is already streaming over — scans never chase pointers or consult side
+// structures, even while concurrent transactions are committing. Snapshot
+// isolation comes from an epoch-based MVCC protocol with group commit.
+//
+// # Quick start
+//
+//	g, err := livegraph.Open(livegraph.Options{})   // in-memory
+//	defer g.Close()
+//
+//	tx, _ := g.Begin()
+//	alice, _ := tx.AddVertex([]byte("alice"))
+//	bob, _   := tx.AddVertex([]byte("bob"))
+//	tx.InsertEdge(alice, livegraph.Label(0), bob, []byte("2020-08-29"))
+//	tx.Commit()
+//
+//	r, _ := g.BeginRead()                 // consistent snapshot
+//	it := r.Neighbors(alice, 0)           // purely sequential scan
+//	for it.Next() {
+//	    fmt.Println(it.Dst(), string(it.Props()))
+//	}
+//	r.Commit()
+//
+// Set Options.Dir for durability (write-ahead log + checkpoints); pass an
+// iosim device profile to model Optane/NAND persistence hardware, and a
+// page cache to simulate out-of-core execution.
+//
+// Write transactions that return ErrConflict or ErrLockTimeout have been
+// aborted under first-committer-wins; retry them (see IsRetryable).
+//
+// For whole-graph analytics, Graph.Snapshot pins a consistent view that is
+// safe for concurrent use by parallel workers (see internal/analytics for
+// PageRank and Connected Components kernels built on it).
+package livegraph
+
+import (
+	"livegraph/internal/core"
+)
+
+// VertexID identifies a vertex; IDs are dense, starting at 0.
+type VertexID = core.VertexID
+
+// Label identifies an edge label; edges of one vertex are grouped into one
+// adjacency list per label.
+type Label = core.Label
+
+// Options configures a Graph; the zero value is a volatile in-memory graph.
+type Options = core.Options
+
+// Graph is a LiveGraph instance.
+type Graph = core.Graph
+
+// Tx is a transaction (see Graph.Begin and Graph.BeginRead).
+type Tx = core.Tx
+
+// EdgeIter is a purely sequential adjacency list iterator.
+type EdgeIter = core.EdgeIter
+
+// Snapshot is a pinned consistent read-only view for analytics.
+type Snapshot = core.Snapshot
+
+// GraphStats aggregates engine counters.
+type GraphStats = core.GraphStats
+
+// Errors returned by transactions. Conflict and lock-timeout errors mean
+// the transaction was aborted and should be retried.
+var (
+	ErrConflict    = core.ErrConflict
+	ErrLockTimeout = core.ErrLockTimeout
+	ErrTxDone      = core.ErrTxDone
+	ErrReadOnly    = core.ErrReadOnly
+	ErrNotFound    = core.ErrNotFound
+	ErrClosed      = core.ErrClosed
+	// ErrHistoryGone is returned by Graph.SnapshotAt for epochs older than
+	// Options.HistoryRetention.
+	ErrHistoryGone = core.ErrHistoryGone
+)
+
+// Open creates (or, when Options.Dir is set, recovers) a graph.
+func Open(opts Options) (*Graph, error) { return core.Open(opts) }
+
+// IsRetryable reports whether err is a transient transaction abort
+// (conflict or lock timeout) worth retrying.
+func IsRetryable(err error) bool { return core.IsRetryable(err) }
+
+// Update runs fn in a write transaction, retrying on transient aborts up to
+// maxRetries times. fn must be idempotent. If fn returns an error the
+// transaction is aborted and the error returned.
+func Update(g *Graph, maxRetries int, fn func(tx *Tx) error) error {
+	var err error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		var tx *Tx
+		tx, err = g.Begin()
+		if err != nil {
+			return err
+		}
+		if err = fn(tx); err != nil {
+			tx.Abort()
+			if IsRetryable(err) {
+				continue
+			}
+			return err
+		}
+		if err = tx.Commit(); err == nil {
+			return nil
+		}
+		if !IsRetryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// View runs fn in a read-only snapshot transaction.
+func View(g *Graph, fn func(tx *Tx) error) error {
+	tx, err := g.BeginRead()
+	if err != nil {
+		return err
+	}
+	defer tx.Commit()
+	return fn(tx)
+}

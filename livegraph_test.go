@@ -1,0 +1,183 @@
+package livegraph_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"livegraph"
+)
+
+func open(t testing.TB) *livegraph.Graph {
+	t.Helper()
+	g, err := livegraph.Open(livegraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := open(t)
+	var alice, bob livegraph.VertexID
+	err := livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		var err error
+		if alice, err = tx.AddVertex([]byte("alice")); err != nil {
+			return err
+		}
+		if bob, err = tx.AddVertex([]byte("bob")); err != nil {
+			return err
+		}
+		return tx.InsertEdge(alice, 0, bob, []byte("2020"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = livegraph.View(g, func(tx *livegraph.Tx) error {
+		it := tx.Neighbors(alice, 0)
+		if !it.Next() {
+			return errors.New("no edge")
+		}
+		if it.Dst() != bob || string(it.Props()) != "2020" {
+			return fmt.Errorf("edge %d %q", it.Dst(), it.Props())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateRetriesConflicts(t *testing.T) {
+	g := open(t)
+	var a, b livegraph.VertexID
+	livegraph.Update(g, 0, func(tx *livegraph.Tx) error {
+		a, _ = tx.AddVertex(nil)
+		b, _ = tx.AddVertex(nil)
+		return tx.AddEdge(a, 0, b, []byte{0})
+	})
+	// Concurrent increments through the retry helper must not lose
+	// updates.
+	const workers, incs = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				err := livegraph.Update(g, 1000, func(tx *livegraph.Tx) error {
+					p, err := tx.GetEdge(a, 0, b)
+					if err != nil {
+						return err
+					}
+					return tx.AddEdge(a, 0, b, []byte{p[0] + 1})
+				})
+				if err != nil {
+					t.Errorf("update: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	livegraph.View(g, func(tx *livegraph.Tx) error {
+		p, err := tx.GetEdge(a, 0, b)
+		if err != nil {
+			return err
+		}
+		if int(p[0]) != workers*incs {
+			t.Errorf("counter %d, want %d", p[0], workers*incs)
+		}
+		return nil
+	})
+}
+
+func TestUpdatePropagatesUserError(t *testing.T) {
+	g := open(t)
+	sentinel := errors.New("boom")
+	err := livegraph.Update(g, 3, func(tx *livegraph.Tx) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err %v", err)
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	if !livegraph.IsRetryable(livegraph.ErrConflict) || !livegraph.IsRetryable(livegraph.ErrLockTimeout) {
+		t.Fatal("conflict/timeout must be retryable")
+	}
+	if livegraph.IsRetryable(livegraph.ErrNotFound) || livegraph.IsRetryable(nil) {
+		t.Fatal("not-found/nil must not be retryable")
+	}
+}
+
+func TestDurableRoundTripViaPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph")
+	g, err := livegraph.Open(livegraph.Options{Dir: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v livegraph.VertexID
+	livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		v, _ = tx.AddVertex([]byte("persistent"))
+		return tx.InsertEdge(v, 7, v, []byte("self"))
+	})
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := livegraph.Open(livegraph.Options{Dir: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	livegraph.View(g2, func(tx *livegraph.Tx) error {
+		d, err := tx.GetVertex(v)
+		if err != nil || string(d) != "persistent" {
+			t.Errorf("vertex %q %v", d, err)
+		}
+		p, err := tx.GetEdge(v, 7, v)
+		if err != nil || string(p) != "self" {
+			t.Errorf("edge %q %v", p, err)
+		}
+		return nil
+	})
+}
+
+func TestSnapshotForAnalytics(t *testing.T) {
+	g := open(t)
+	var hub livegraph.VertexID
+	livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		hub, _ = tx.AddVertex(nil)
+		for i := 0; i < 10; i++ {
+			id, _ := tx.AddVertex(nil)
+			tx.InsertEdge(hub, 0, id, nil)
+		}
+		return nil
+	})
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if d := snap.Degree(hub, 0); d != 10 {
+		t.Fatalf("degree %d", d)
+	}
+	// Concurrent use of one snapshot.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				n := 0
+				snap.ScanNeighbors(hub, 0, func(livegraph.VertexID, []byte) bool { n++; return true })
+				if n != 10 {
+					t.Errorf("scan %d", n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
