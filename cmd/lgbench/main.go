@@ -36,6 +36,7 @@ func main() {
 		oocFrac    = flag.Float64("ooc-frac", 0.16, "out-of-core resident fraction")
 		prIters    = flag.Int("pr-iters", 20, "PageRank iterations")
 		workers    = flag.Int("workers", 8, "analytics worker threads")
+		walShards  = flag.Int("wal-shards", 1, "WAL shards for durable experiments (parallel group-commit fan-out)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 	cfg.OOCFrac = *oocFrac
 	cfg.PRIters = *prIters
 	cfg.Workers = *workers
+	cfg.WALShards = *walShards
 
 	run := func(e bench.Experiment) {
 		t0 := time.Now()

@@ -25,11 +25,12 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7450", "listen address")
-		dir     = flag.String("dir", "", "data directory (empty = volatile in-memory)")
-		device  = flag.String("device", "null", "simulated persistence device: null, optane, nand")
-		workers = flag.Int("workers", 256, "max concurrent transactions")
-		history = flag.Int64("history", 0, "temporal history retention (epochs)")
+		addr      = flag.String("addr", ":7450", "listen address")
+		dir       = flag.String("dir", "", "data directory (empty = volatile in-memory)")
+		device    = flag.String("device", "null", "simulated persistence device: null, optane, nand")
+		workers   = flag.Int("workers", 256, "max concurrent transactions")
+		history   = flag.Int64("history", 0, "temporal history retention (epochs)")
+		walShards = flag.Int("wal-shards", 1, "WAL shards (parallel group-commit fan-out; needs -dir)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		Device:           iosim.NewDevice(prof),
 		Workers:          *workers,
 		HistoryRetention: *history,
+		WALShards:        *walShards,
 	})
 	if err != nil {
 		log.Fatalf("lgserver: open: %v", err)

@@ -1,0 +1,3 @@
+module livegraph
+
+go 1.24

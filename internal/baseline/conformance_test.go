@@ -4,25 +4,137 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"livegraph/internal/baseline"
 	"livegraph/internal/baseline/adjlist"
 	"livegraph/internal/baseline/btree"
 	"livegraph/internal/baseline/lsmt"
+	"livegraph/internal/core"
 )
 
-// stores returns a fresh instance of every mutable baseline store.
-func stores() []baseline.EdgeStore {
-	return []baseline.EdgeStore{
+// stores returns a fresh instance of every mutable baseline store, plus
+// the livegraph engine itself (durable, at WAL shard counts 1 and 4) so
+// the sharded commit pipeline answers the same correctness contract as
+// the comparison structures.
+func stores(t *testing.T) []baseline.EdgeStore {
+	out := []baseline.EdgeStore{
 		btree.New(),
 		lsmt.NewWithMemLimit(64), // small memtable to exercise flush/compact
 		adjlist.New(),
 	}
+	for _, shards := range []int{1, 4} {
+		g, err := core.Open(core.Options{Dir: t.TempDir(), WALShards: shards, Workers: 32, CompactEvery: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { g.Close() })
+		out = append(out, &engineStore{g: g, name: fmt.Sprintf("LiveGraph-shards%d", shards)})
+	}
+	return out
 }
 
+// engineStore adapts a core.Graph to the baseline EdgeStore interface.
+// Every operation is one transaction; transient aborts are retried. The
+// live-edge count the interface requires is tracked transactionally (the
+// existence probe runs inside the same transaction as the write).
+type engineStore struct {
+	g     *core.Graph
+	name  string
+	count atomic.Int64
+}
+
+func (s *engineStore) Name() string { return s.name }
+
+func (s *engineStore) update(fn func(tx *core.Tx) error) {
+	for {
+		tx, err := s.g.Begin()
+		if err != nil {
+			return
+		}
+		if err := fn(tx); err != nil {
+			if core.IsRetryable(err) {
+				continue
+			}
+			tx.Abort()
+			return
+		}
+		if err := tx.Commit(); err == nil || !core.IsRetryable(err) {
+			return
+		}
+	}
+}
+
+func (s *engineStore) AddEdge(src, dst int64, props []byte) {
+	existed := false
+	s.update(func(tx *core.Tx) error {
+		_, err := tx.GetEdge(core.VertexID(src), 0, core.VertexID(dst))
+		existed = err == nil
+		return tx.AddEdge(core.VertexID(src), 0, core.VertexID(dst), props)
+	})
+	if !existed {
+		s.count.Add(1)
+	}
+}
+
+func (s *engineStore) DeleteEdge(src, dst int64) bool {
+	found := false
+	s.update(func(tx *core.Tx) error {
+		err := tx.DeleteEdge(core.VertexID(src), 0, core.VertexID(dst))
+		if err == core.ErrNotFound {
+			found = false
+			return nil
+		}
+		found = err == nil
+		return err
+	})
+	if found {
+		s.count.Add(-1)
+	}
+	return found
+}
+
+func (s *engineStore) GetEdge(src, dst int64) ([]byte, bool) {
+	tx, err := s.g.BeginRead()
+	if err != nil {
+		return nil, false
+	}
+	defer tx.Commit()
+	p, err := tx.GetEdge(core.VertexID(src), 0, core.VertexID(dst))
+	if err != nil {
+		return nil, false
+	}
+	return append([]byte(nil), p...), true
+}
+
+func (s *engineStore) ScanNeighbors(src int64, fn func(dst int64, props []byte) bool) {
+	tx, err := s.g.BeginRead()
+	if err != nil {
+		return
+	}
+	defer tx.Commit()
+	it := tx.Neighbors(core.VertexID(src), 0)
+	for it.Next() {
+		if !fn(int64(it.Dst()), it.Props()) {
+			return
+		}
+	}
+}
+
+func (s *engineStore) Degree(src int64) int {
+	tx, err := s.g.BeginRead()
+	if err != nil {
+		return 0
+	}
+	defer tx.Commit()
+	return tx.Degree(core.VertexID(src), 0)
+}
+
+func (s *engineStore) NumEdges() int64 { return s.count.Load() }
+
 func TestConformanceBasicCRUD(t *testing.T) {
-	for _, s := range stores() {
+	for _, s := range stores(t) {
 		t.Run(s.Name(), func(t *testing.T) {
 			s.AddEdge(1, 2, []byte("a"))
 			s.AddEdge(1, 3, []byte("b"))
@@ -64,7 +176,7 @@ func TestConformanceBasicCRUD(t *testing.T) {
 }
 
 func TestConformanceScanCompleteAndDeduplicated(t *testing.T) {
-	for _, s := range stores() {
+	for _, s := range stores(t) {
 		t.Run(s.Name(), func(t *testing.T) {
 			const n = 500
 			for i := 0; i < n; i++ {
@@ -99,7 +211,7 @@ func TestConformanceScanCompleteAndDeduplicated(t *testing.T) {
 }
 
 func TestConformanceScanEarlyStop(t *testing.T) {
-	for _, s := range stores() {
+	for _, s := range stores(t) {
 		t.Run(s.Name(), func(t *testing.T) {
 			for i := 0; i < 100; i++ {
 				s.AddEdge(1, int64(i), nil)
@@ -117,7 +229,7 @@ func TestConformanceScanEarlyStop(t *testing.T) {
 }
 
 func TestConformanceScanIsolatedPerVertex(t *testing.T) {
-	for _, s := range stores() {
+	for _, s := range stores(t) {
 		t.Run(s.Name(), func(t *testing.T) {
 			s.AddEdge(10, 1, nil)
 			s.AddEdge(11, 2, nil)
@@ -140,7 +252,7 @@ func TestConformanceScanIsolatedPerVertex(t *testing.T) {
 }
 
 func TestConformanceRandomizedAgainstModel(t *testing.T) {
-	for _, s := range stores() {
+	for _, s := range stores(t) {
 		t.Run(s.Name(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(42))
 			model := map[[2]int64][]byte{}
@@ -187,7 +299,7 @@ func TestConformanceRandomizedAgainstModel(t *testing.T) {
 }
 
 func TestConformanceConcurrentReadersAndWriter(t *testing.T) {
-	for _, s := range stores() {
+	for _, s := range stores(t) {
 		t.Run(s.Name(), func(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				s.AddEdge(1, int64(i), nil)

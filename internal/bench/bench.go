@@ -39,6 +39,10 @@ type Config struct {
 	// Analytics (Table 10).
 	PRIters int // PageRank iterations (paper: 20)
 	Workers int // analytics threads (paper: 24)
+
+	// WALShards configures the sharded commit pipeline for the durable
+	// experiments (1 = the paper's single sequential log).
+	WALShards int
 }
 
 // Default returns the laptop-scale configuration.
@@ -50,6 +54,7 @@ func Default(out io.Writer) Config {
 		OOCFrac:    0.16,
 		SNBPersons: 400, SNBClients: 8, SNBRequests: 40,
 		PRIters: 20, Workers: 8,
+		WALShards: 1,
 	}
 }
 

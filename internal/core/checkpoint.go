@@ -27,16 +27,28 @@ func (g *Graph) Checkpoint() error {
 	if g.opts.Dir == "" {
 		return fmt.Errorf("livegraph: checkpoint requires a durable graph (Options.Dir)")
 	}
-	// Rotate the WAL under the committer's batch mutex: at that point no
-	// commit group is in flight, so GRE == GWE and every record in the old
-	// segments has epoch <= E.
+	g.ckptMu.Lock()
+	defer g.ckptMu.Unlock()
+	// Rotate the WAL under the committer's batch mutex: no commit group
+	// is in flight, so every record in the old segments has epoch <= E.
+	// The explicit PublishRead barrier pins the quiescence invariant —
+	// everything durable is also published (GRE >= DurableEpoch) at the
+	// rotation point. Today the leader publishes before releasing the
+	// mutex so this never blocks; if commit groups ever pipeline past
+	// the leader lock, the barrier keeps this rotation point correct.
+	// (GWE would be the wrong target: a group whose persist failed
+	// advances GWE but is never published.)
 	g.commit.mu.Lock()
+	g.epochs.WaitRead(g.log.DurableEpoch())
 	epoch := g.epochs.ReadEpoch()
 	oldSegs, err := g.rotateWALLocked()
 	if err != nil {
 		g.commit.mu.Unlock()
 		return err
 	}
+	// Capture while the committer mutex still pins g.walSeq: the meta's
+	// MinWALSeq must name exactly the segment this rotation opened.
+	minSeq := g.walSeq
 	snap, err := g.Snapshot()
 	if err != nil {
 		g.commit.mu.Unlock()
@@ -49,7 +61,18 @@ func (g *Graph) Checkpoint() error {
 	if err := g.writeCheckpoint(path, epoch, snap); err != nil {
 		return err
 	}
-	if err := wal.WriteCheckpointMeta(g.opts.Dir, wal.CheckpointMeta{Epoch: epoch, Path: filepath.Base(path)}); err != nil {
+	// The rotation point was quiescent (GRE == GWE), so every shard is
+	// superseded up to the same epoch; the meta still records it per
+	// shard, the shape an incremental checkpointer needs. MinWALSeq
+	// marks the segment opened at rotation as the first live one: the
+	// prune below is best-effort (a crash mid-prune leaves partial
+	// groups), and recovery skips everything under the mark.
+	trunc := make([]int64, g.log.Shards())
+	for s := range trunc {
+		trunc[s] = epoch
+	}
+	meta := wal.CheckpointMeta{Epoch: epoch, Path: filepath.Base(path), MinWALSeq: minSeq, ShardTruncEpochs: trunc}
+	if err := wal.WriteCheckpointMeta(g.opts.Dir, meta); err != nil {
 		return err
 	}
 	// Prune superseded segments and older checkpoints.
@@ -69,9 +92,9 @@ func (g *Graph) pruneOldCheckpoints(keep string) {
 	}
 }
 
-// rotateWALLocked closes the current WAL segment and opens the next one.
-// Caller holds the committer mutex. Returns the paths of all prior
-// segments.
+// rotateWALLocked closes the current WAL segment (all shards) and opens
+// the next one. Caller holds the committer mutex. Returns the paths of all
+// prior segments' shard files.
 func (g *Graph) rotateWALLocked() ([]string, error) {
 	if err := g.log.Close(); err != nil {
 		return nil, err
@@ -81,16 +104,14 @@ func (g *Graph) rotateWALLocked() ([]string, error) {
 		return nil, err
 	}
 	g.walSeq++
-	l, err := wal.Open(g.walPath(g.walSeq), g.opts.Device)
+	l, err := wal.OpenSharded(g.opts.Dir, g.walSeq, g.opts.WALShards, g.opts.Device)
 	if err != nil {
 		return nil, err
 	}
+	// Quiescent point: GRE == GWE, everything up to it is durable.
+	l.SetDurableEpoch(g.epochs.ReadEpoch())
 	g.log = l
 	return old, nil
-}
-
-func (g *Graph) walPath(seq int) string {
-	return filepath.Join(g.opts.Dir, fmt.Sprintf("wal-%06d.log", seq))
 }
 
 // writeCheckpoint streams the snapshot to path. Format:
@@ -262,21 +283,62 @@ func readFull(r *bufio.Reader, b []byte) (int, error) {
 	return n, nil
 }
 
-// sortedWALSegments lists this graph's WAL segment paths in replay order
-// and returns the highest sequence number seen.
-func sortedWALSegments(dir string) ([]string, int, error) {
+// walSegment is one sequence number's shard files in numeric shard order.
+type walSegment struct {
+	seq   int
+	paths []string
+}
+
+// walSegmentGroups lists this graph's WAL segments in replay order, each
+// with its shard files in numeric shard order (ReplaySharded matches
+// marker counts by position, so reader index must equal shard index). It
+// returns the highest sequence number seen. A wal-*.log file the current
+// format cannot parse is an error, not a skip: silently ignoring an
+// unrecognized log file would silently drop its committed transactions.
+//
+// Live segments must have the contiguous shard set 0..N-1 — a gap means a
+// shard file was lost, and replaying around it would silently skip its
+// epochs. Segments below the checkpoint's MinWALSeq are exempt (the
+// caller discards them): the checkpointer's prune is not atomic, so a
+// crash mid-prune legitimately leaves partial superseded groups behind.
+func walSegmentGroups(dir string, minLiveSeq int) ([]walSegment, int, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil {
 		return nil, 0, err
 	}
-	sort.Strings(matches)
+	type shardFile struct {
+		shard int
+		path  string
+	}
+	bySeq := map[int][]shardFile{}
+	var seqs []int
 	maxSeq := 0
 	for _, m := range matches {
-		var seq int
-		fmt.Sscanf(filepath.Base(m), "wal-%06d.log", &seq)
+		seq, shard, ok := wal.ParseShardPath(m)
+		if !ok {
+			return nil, 0, fmt.Errorf("livegraph: unrecognized WAL file %s (incompatible log format?)", m)
+		}
+		if _, seen := bySeq[seq]; !seen {
+			seqs = append(seqs, seq)
+		}
+		bySeq[seq] = append(bySeq[seq], shardFile{shard, m})
 		if seq > maxSeq {
 			maxSeq = seq
 		}
 	}
-	return matches, maxSeq, nil
+	sort.Ints(seqs)
+	groups := make([]walSegment, 0, len(seqs))
+	for _, seq := range seqs {
+		files := bySeq[seq]
+		sort.Slice(files, func(i, j int) bool { return files[i].shard < files[j].shard })
+		paths := make([]string, len(files))
+		for i, f := range files {
+			if f.shard != i && seq >= minLiveSeq {
+				return nil, 0, fmt.Errorf("livegraph: WAL segment %06d is missing shard %d (have %s)", seq, i, f.path)
+			}
+			paths[i] = f.path
+		}
+		groups = append(groups, walSegment{seq: seq, paths: paths})
+	}
+	return groups, maxSeq, nil
 }

@@ -2,16 +2,24 @@ package core
 
 // The committer is the paper's transaction manager (§5): it forms commit
 // groups, advances the global write epoch GWE, persists the group's
-// write-ahead-log records with one fsync (group commit), applies each
-// member transaction (publish CT/LS, publish vertex versions, flip -TID
-// timestamps to TWE, release locks) and finally advances the global read
-// epoch GRE, exposing the group's updates to future transactions.
+// write-ahead-log records (group commit), applies each member transaction
+// (publish CT/LS, publish vertex versions, flip -TID timestamps to TWE,
+// release locks) and finally advances the global read epoch GRE, exposing
+// the group's updates to future transactions.
 //
 // Group formation uses the leader/follower pattern: a committing
 // transaction enqueues itself and competes for the leader lock; the winner
 // drains the queue and commits the whole batch, so an uncontended commit
 // runs inline with no goroutine handoff while concurrent commits amortise
-// one fsync across the group.
+// the fsyncs across the group.
+//
+// The persist phase is sharded (Options.WALShards): each transaction's
+// records are already partitioned by vertex-ownership shard, the leader
+// merges them into per-shard batches, and the sharded log writes and
+// fsyncs every participating shard concurrently. GRE still advances only
+// after the whole group is durable on every shard and fully applied, so
+// the epoch sequence point — and with it snapshot isolation — is exactly
+// the paper's.
 
 import "sync"
 
@@ -45,14 +53,21 @@ func (c *committer) submit(tx *Tx) {
 	// are still waiting for the lock; they will find their result ready.
 	// The group size is naturally bounded by the number of worker slots,
 	// so the leader drains the whole queue (every drained transaction's
-	// goroutine finds its result ready when it gets the lock).
+	// goroutine finds its result ready when it gets the lock). A drain
+	// larger than MaxGroupCommit is committed in chunks, capping how many
+	// transactions one fsync fan-out covers.
 	c.mu.Lock()
 	c.qmu.Lock()
 	batch := c.queue
 	c.queue = nil
 	c.qmu.Unlock()
-	if len(batch) > 0 {
-		c.commitGroup(batch)
+	for len(batch) > 0 {
+		n := len(batch)
+		if m := c.g.opts.MaxGroupCommit; n > m {
+			n = m
+		}
+		c.commitGroup(batch[:n])
+		batch = batch[n:]
 	}
 	c.mu.Unlock()
 }
@@ -60,16 +75,19 @@ func (c *committer) submit(tx *Tx) {
 func (c *committer) commitGroup(batch []*Tx) {
 	g := c.g
 
-	// Persist phase: advance GWE, append the group's records, one fsync.
+	// Persist phase: advance GWE, partition the group's records by WAL
+	// shard, write and fsync all participating shards concurrently.
 	twe := g.epochs.AdvanceWrite()
 	if g.log != nil {
-		recs := make([][]byte, 0, len(batch))
+		recsByShard := make([][][]byte, g.log.Shards())
 		for _, tx := range batch {
-			if len(tx.walBuf) > 0 {
-				recs = append(recs, tx.walBuf)
+			for s, buf := range tx.walBufs {
+				if len(buf) > 0 {
+					recsByShard[s] = append(recsByShard[s], buf)
+				}
 			}
 		}
-		if err := g.log.AppendGroup(twe, recs); err != nil {
+		if err := g.log.AppendGroup(twe, recsByShard); err != nil {
 			// Durability failed: the group must not become visible.
 			for _, tx := range batch {
 				tx.revert()

@@ -1,11 +1,17 @@
 package core
 
 // Crash recovery (paper §6): load the latest checkpoint, then replay the
-// WAL to re-apply committed updates. Replay is single-threaded and applies
-// operations directly with committed timestamps — no locks, no group
-// commit.
+// WAL to re-apply committed updates. Each segment's shard files are
+// merge-replayed in epoch order; a commit group counts only if its marker
+// and full record set are durable on every shard, so a crash that tore
+// different shards at different epochs rolls the graph back to the last
+// epoch durable on all of them, never to a half-applied group. Replay is
+// single-threaded and applies operations directly with committed
+// timestamps — no locks, no group commit.
 
 import (
+	"os"
+
 	"livegraph/internal/storage"
 	"livegraph/internal/tel"
 	"livegraph/internal/wal"
@@ -25,18 +31,23 @@ func (g *Graph) recover() error {
 		}
 		afterEpoch = meta.Epoch
 	}
-	segs, maxSeq, err := sortedWALSegments(g.opts.Dir)
+	groups, maxSeq, err := walSegmentGroups(g.opts.Dir, meta.MinWALSeq)
 	if err != nil {
 		return err
 	}
 	g.walSeq = maxSeq
 	maxEpoch := afterEpoch
 	h := g.alloc.NewHandle()
-	for _, seg := range segs {
-		err := wal.Replay(seg, afterEpoch, func(epoch int64, rec []byte) error {
-			if epoch > maxEpoch {
-				maxEpoch = epoch
+	for _, seg := range groups {
+		if seg.seq < meta.MinWALSeq {
+			// Fully superseded by the checkpoint; the checkpointer
+			// crashed mid-prune. Finish the job instead of replaying.
+			for _, p := range seg.paths {
+				os.Remove(p)
 			}
+			continue
+		}
+		durable, err := wal.ReplaySharded(seg.paths, afterEpoch, func(epoch int64, rec []byte) error {
 			ops, err := decodeOps(rec)
 			if err != nil {
 				return err
@@ -48,6 +59,9 @@ func (g *Graph) recover() error {
 		})
 		if err != nil {
 			return err
+		}
+		if durable > maxEpoch {
+			maxEpoch = durable
 		}
 	}
 	g.epochs.Init(maxEpoch)

@@ -25,8 +25,18 @@ type Tx struct {
 	locked    map[uint64]struct{} // held lock stripes (dedup by stripe, not vertex)
 	telWrites map[telKey]*telWrite
 	vWrites   map[VertexID]*vertexWrite
-	walBuf    []byte
+	walBufs   [][]byte // WAL record per shard, partitioned by vertex ownership
 	commitRes chan error
+}
+
+// walShard returns the WAL record buffer for the shard owning v. One
+// transaction contributes at most one record per shard; the committer
+// hands the non-empty ones to the sharded log.
+func (tx *Tx) walShard(v VertexID) *[]byte {
+	if tx.walBufs == nil {
+		tx.walBufs = make([][]byte, tx.g.opts.WALShards)
+	}
+	return &tx.walBufs[tx.g.walShardOf(v)]
 }
 
 type telKey struct {
@@ -135,7 +145,8 @@ func (tx *Tx) AddVertex(data []byte) (VertexID, error) {
 		return 0, err
 	}
 	tx.bufferVertex(id, data, false)
-	tx.walBuf = appendVertexOp(tx.walBuf, opAddVertex, id, data)
+	b := tx.walShard(id)
+	*b = appendVertexOp(*b, opAddVertex, id, data)
 	return id, nil
 }
 
@@ -151,7 +162,8 @@ func (tx *Tx) PutVertex(v VertexID, data []byte) error {
 		return err
 	}
 	tx.bufferVertex(v, data, false)
-	tx.walBuf = appendVertexOp(tx.walBuf, opPutVertex, v, data)
+	b := tx.walShard(v)
+	*b = appendVertexOp(*b, opPutVertex, v, data)
 	return nil
 }
 
@@ -169,7 +181,8 @@ func (tx *Tx) DeleteVertex(v VertexID) error {
 		return err
 	}
 	tx.bufferVertex(v, nil, true)
-	tx.walBuf = appendVertexOp(tx.walBuf, opDelVertex, v, nil)
+	b := tx.walShard(v)
+	*b = appendVertexOp(*b, opDelVertex, v, nil)
 	return nil
 }
 
@@ -324,7 +337,8 @@ func (tx *Tx) InsertEdge(src VertexID, label Label, dst VertexID, props []byte) 
 		return err
 	}
 	tx.appendEdge(w, dst, props)
-	tx.walBuf = appendEdgeOp(tx.walBuf, opInsertEdge, src, label, dst, props)
+	b := tx.walShard(src)
+	*b = appendEdgeOp(*b, opInsertEdge, src, label, dst, props)
 	tx.g.markDirty(src)
 	return nil
 }
@@ -344,7 +358,8 @@ func (tx *Tx) AddEdge(src VertexID, label Label, dst VertexID, props []byte) err
 		return err
 	}
 	tx.appendEdge(w, dst, props)
-	tx.walBuf = appendEdgeOp(tx.walBuf, opUpsertEdge, src, label, dst, props)
+	b := tx.walShard(src)
+	*b = appendEdgeOp(*b, opUpsertEdge, src, label, dst, props)
 	tx.g.markDirty(src)
 	return nil
 }
@@ -362,7 +377,8 @@ func (tx *Tx) DeleteEdge(src VertexID, label Label, dst VertexID) error {
 	if err := tx.invalidatePrev(w, dst); err != nil {
 		return err
 	}
-	tx.walBuf = appendEdgeOp(tx.walBuf, opDeleteEdge, src, label, dst, nil)
+	b := tx.walShard(src)
+	*b = appendEdgeOp(*b, opDeleteEdge, src, label, dst, nil)
 	tx.g.markDirty(src)
 	return nil
 }

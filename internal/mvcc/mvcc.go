@@ -59,6 +59,22 @@ func (e *Epochs) PublishRead(ts int64) {
 	}
 }
 
+// WaitRead is the PublishRead barrier: it blocks until GRE >= ts, i.e.
+// until the commit group stamped ts (and every earlier group) has fully
+// applied and been published. Even with the persist phase fanned out
+// across WAL shards, epoch advancement stays a single global sequence
+// point — once WaitRead(ts) returns, a new transaction's snapshot includes
+// every update of every group up to ts, on every shard.
+func (e *Epochs) WaitRead(ts int64) {
+	for spins := 0; e.gre.Load() < ts; spins++ {
+		if spins < 100 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
 // Visible reports whether an edge log entry with the given creation and
 // invalidation timestamps is visible to a transaction reading at epoch tre
 // with identifier tid (pass 0 for pure read transactions).

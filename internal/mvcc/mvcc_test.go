@@ -227,3 +227,25 @@ func BenchmarkLockUnlock(b *testing.B) {
 		}
 	})
 }
+
+func TestWaitReadBarrier(t *testing.T) {
+	var e Epochs
+	e.Init(3)
+	e.WaitRead(3) // already published: returns immediately
+	done := make(chan struct{})
+	go func() {
+		e.WaitRead(7)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("WaitRead(7) returned before publish")
+	case <-time.After(5 * time.Millisecond):
+	}
+	e.PublishRead(7)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("WaitRead(7) did not observe publish")
+	}
+}

@@ -2,8 +2,10 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"livegraph/internal/iosim"
@@ -157,7 +159,7 @@ func TestCheckpointMetaRoundTrip(t *testing.T) {
 	if _, ok, err := ReadCheckpointMeta(dir); err != nil || ok {
 		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
 	}
-	want := CheckpointMeta{Epoch: 42, Path: "ckpt-42.snap"}
+	want := CheckpointMeta{Epoch: 42, Path: "ckpt-42.snap", MinWALSeq: 3, ShardTruncEpochs: []int64{42, 42, 40, 42}}
 	if err := WriteCheckpointMeta(dir, want); err != nil {
 		t.Fatal(err)
 	}
@@ -165,14 +167,251 @@ func TestCheckpointMetaRoundTrip(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("ok=%v err=%v", ok, err)
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("got %+v, want %+v", got, want)
 	}
-	// Overwrite with a newer checkpoint.
+	// Overwrite with a newer checkpoint; no shard epochs is also legal.
 	want2 := CheckpointMeta{Epoch: 99, Path: "ckpt-99.snap"}
 	WriteCheckpointMeta(dir, want2)
 	got, _, _ = ReadCheckpointMeta(dir)
-	if got != want2 {
+	if !reflect.DeepEqual(got, want2) {
 		t.Fatalf("got %+v, want %+v", got, want2)
+	}
+}
+
+// Sharded log ----------------------------------------------------------------
+
+func openShardedTemp(t *testing.T, shards int) (*ShardedLog, string) {
+	t.Helper()
+	dir := t.TempDir()
+	sl, err := OpenSharded(dir, 1, shards, iosim.NewDevice(iosim.Null))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sl.Close() })
+	return sl, dir
+}
+
+// groupOn builds a recsByShard slice placing recs on the given shards.
+func groupOn(shards int, on map[int][][]byte) [][][]byte {
+	g := make([][][]byte, shards)
+	for s, recs := range on {
+		g[s] = recs
+	}
+	return g
+}
+
+func replayAll(t *testing.T, sl *ShardedLog, afterEpoch int64) (recs map[int64][]string, durable int64) {
+	t.Helper()
+	recs = map[int64][]string{}
+	durable, err := ReplaySharded(sl.SegmentPaths(), afterEpoch, func(e int64, rec []byte) error {
+		recs[e] = append(recs[e], string(rec))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, durable
+}
+
+func TestShardedRoundTripEpochOrder(t *testing.T) {
+	sl, _ := openShardedTemp(t, 4)
+	if err := sl.AppendGroup(1, groupOn(4, map[int][][]byte{
+		0: {[]byte("a0")}, 2: {[]byte("a2"), []byte("a2b")},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendGroup(2, groupOn(4, map[int][][]byte{
+		3: {[]byte("b3")},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendGroup(3, groupOn(4, map[int][][]byte{
+		1: {[]byte("c1")}, 3: {[]byte("c3")},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if got := sl.DurableEpoch(); got != 3 {
+		t.Fatalf("DurableEpoch = %d", got)
+	}
+	var order []int64
+	durable, err := ReplaySharded(sl.SegmentPaths(), 0, func(e int64, rec []byte) error {
+		if bytes.HasPrefix(rec, []byte{0xF7}) {
+			t.Fatalf("marker leaked to replay: %x", rec)
+		}
+		order = append(order, e)
+		return nil
+	})
+	if err != nil || durable != 3 {
+		t.Fatalf("durable=%d err=%v", durable, err)
+	}
+	want := []int64{1, 1, 1, 2, 3, 3}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("epoch order %v, want %v", order, want)
+	}
+	recs, _ := replayAll(t, sl, 0)
+	if !reflect.DeepEqual(recs[1], []string{"a0", "a2", "a2b"}) {
+		t.Fatalf("epoch 1 recs %v", recs[1])
+	}
+}
+
+func TestShardedReplayAfterEpochSkips(t *testing.T) {
+	sl, _ := openShardedTemp(t, 2)
+	sl.AppendGroup(1, groupOn(2, map[int][][]byte{0: {[]byte("old")}}))
+	sl.AppendGroup(5, groupOn(2, map[int][][]byte{1: {[]byte("new")}}))
+	recs, durable := replayAll(t, sl, 1)
+	if durable != 5 || len(recs) != 1 || recs[5][0] != "new" {
+		t.Fatalf("recs=%v durable=%d", recs, durable)
+	}
+}
+
+func TestShardedEmptyGroupVacuouslyDurable(t *testing.T) {
+	sl, _ := openShardedTemp(t, 2)
+	if err := sl.AppendGroup(7, make([][][]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sl.DurableEpoch(); got != 7 {
+		t.Fatalf("DurableEpoch = %d", got)
+	}
+	if recs, _ := replayAll(t, sl, 0); len(recs) != 0 {
+		t.Fatalf("empty group left records: %v", recs)
+	}
+	if n := sl.AppendedBytes(); n != 0 {
+		t.Fatalf("empty group wrote %d bytes", n)
+	}
+}
+
+func TestShardedTornShardDiscardsWholeGroup(t *testing.T) {
+	// Group 2 lands on shards 0 and 1; tearing shard 1's copy must roll
+	// back the group everywhere, including shard 0's intact records.
+	sl, dir := openShardedTemp(t, 2)
+	sl.AppendGroup(1, groupOn(2, map[int][][]byte{0: {[]byte("keep0")}, 1: {[]byte("keep1")}}))
+	sl.AppendGroup(2, groupOn(2, map[int][][]byte{0: {[]byte("lost0")}, 1: {[]byte("lost1")}}))
+	sl.Close()
+	shard1 := ShardPath(dir, 1, 1)
+	st, _ := os.Stat(shard1)
+	if err := os.Truncate(shard1, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	recs, durable := replayAll(t, sl, 0)
+	if durable != 1 {
+		t.Fatalf("durable = %d, want 1", durable)
+	}
+	if !reflect.DeepEqual(recs, map[int64][]string{1: {"keep0", "keep1"}}) {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestShardedMissingMarkerDiscardsGroup(t *testing.T) {
+	// The marker rides on the first participating shard (0 here). Tear it
+	// off: shard 1 holds a fully intact record for epoch 2, but without
+	// the marker the group must be discarded.
+	sl, dir := openShardedTemp(t, 2)
+	sl.AppendGroup(1, groupOn(2, map[int][][]byte{0: {[]byte("keep")}}))
+	sl.AppendGroup(2, groupOn(2, map[int][][]byte{0: {[]byte("lost0")}, 1: {[]byte("lost1")}}))
+	sl.Close()
+	// Shard 0's epoch-2 batch is [lost0][marker]; chop the marker record
+	// (its payload is 1 magic byte + 1 shard count + 2 counts = 4 bytes,
+	// plus the 16-byte header).
+	shard0 := ShardPath(dir, 1, 0)
+	st, _ := os.Stat(shard0)
+	if err := os.Truncate(shard0, st.Size()-20); err != nil {
+		t.Fatal(err)
+	}
+	recs, durable := replayAll(t, sl, 0)
+	if durable != 1 || len(recs[2]) != 0 {
+		t.Fatalf("recs=%v durable=%d; epoch 2 must be discarded", recs, durable)
+	}
+}
+
+func TestShardedDeviceCrashTearsGroup(t *testing.T) {
+	dir := t.TempDir()
+	dev := iosim.NewDevice(iosim.Null)
+	sl, err := OpenSharded(dir, 1, 4, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 64)
+	full := func(e int64) [][][]byte {
+		return groupOn(4, map[int][][]byte{0: {payload}, 1: {payload}, 2: {payload}, 3: {payload}})
+	}
+	if err := sl.AppendGroup(1, full(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Arm a crash point inside the next group: four 80-byte shard batches
+	// (plus one marker) cannot all fit in 150 bytes.
+	dev.CrashAfter(150)
+	if err := sl.AppendGroup(2, full(2)); !errors.Is(err, iosim.ErrCrashed) {
+		t.Fatalf("AppendGroup during crash = %v, want ErrCrashed", err)
+	}
+	if sl.DurableEpoch() != 1 {
+		t.Fatalf("DurableEpoch advanced past crash: %d", sl.DurableEpoch())
+	}
+	// The log is sticky-failed: even a healed device gets no more
+	// appends — torn records may sit mid-file, and a group appended
+	// after them would be acknowledged yet discarded by replay.
+	if err := sl.AppendGroup(3, full(3)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("post-crash AppendGroup = %v, want ErrLogFailed", err)
+	}
+	dev.Revive()
+	if err := sl.AppendGroup(4, full(4)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("AppendGroup after revive = %v, want ErrLogFailed", err)
+	}
+	if err := sl.AppendGroup(5, make([][][]byte, 4)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("empty group after failure = %v; must not advance durability", err)
+	}
+	sl.Close()
+	recs := map[int64]int{}
+	durable, err := ReplaySharded(sl.SegmentPaths(), 0, func(e int64, rec []byte) error {
+		recs[e]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable != 1 || recs[1] != 4 || recs[2] != 0 || recs[3] != 0 {
+		t.Fatalf("durable=%d recs=%v; want exactly group 1", durable, recs)
+	}
+}
+
+func TestParseShardPath(t *testing.T) {
+	cases := []struct {
+		name       string
+		seq, shard int
+		ok         bool
+	}{
+		{"wal-000001-s00.log", 1, 0, true},
+		{"wal-000042-s07.log", 42, 7, true},
+		{"wal-000001-s123.log", 1, 123, true}, // width past %02d must still parse
+		{"/some/dir/wal-001000-s63.log", 1000, 63, true},
+		{"wal-000001.log", 0, 0, false}, // legacy unsharded name
+		{"wal-x-s00.log", 0, 0, false},
+		{"wal-000001-s00.snap", 0, 0, false},
+		{"ckpt-42.snap", 0, 0, false},
+	}
+	for _, c := range cases {
+		seq, shard, ok := ParseShardPath(c.name)
+		if seq != c.seq || shard != c.shard || ok != c.ok {
+			t.Errorf("ParseShardPath(%q) = (%d,%d,%v), want (%d,%d,%v)",
+				c.name, seq, shard, ok, c.seq, c.shard, c.ok)
+		}
+	}
+	// Round trip.
+	if seq, shard, ok := ParseShardPath(ShardPath("d", 9, 31)); seq != 9 || shard != 31 || !ok {
+		t.Fatalf("round trip failed: %d %d %v", seq, shard, ok)
+	}
+}
+
+func TestShardedReplayMissingShardFileIsError(t *testing.T) {
+	// A marker promising more shards than files supplied means a shard
+	// FILE is gone (a torn shard would still exist, just truncated):
+	// that must surface as an error, not a silent group rollback.
+	sl, _ := openShardedTemp(t, 2)
+	sl.AppendGroup(1, groupOn(2, map[int][][]byte{0: {[]byte("a")}, 1: {[]byte("b")}}))
+	sl.Close()
+	paths := sl.SegmentPaths()[:1] // drop shard 1
+	_, err := ReplaySharded(paths, 0, func(int64, []byte) error { return nil })
+	if err == nil {
+		t.Fatal("ReplaySharded succeeded with a shard file missing")
 	}
 }

@@ -33,6 +33,30 @@
 // iosim device profile to model Optane/NAND persistence hardware, and a
 // page cache to simulate out-of-core execution.
 //
+// # Architecture: the sharded commit pipeline
+//
+// Commits go through the paper's three phases — work, persist, apply —
+// with a group-commit transaction manager: a committing transaction
+// enqueues itself, and the leader that wins the commit lock drains the
+// queue and commits the whole group.
+//
+// The persist phase is sharded. Every transaction partitions its WAL
+// records by vertex-ownership shard as it executes; at commit the leader
+// merges the group's records into per-shard batches and the segmented log
+// (Options.WALShards files per segment) writes and fsyncs all
+// participating shards concurrently, each on its own simulated device
+// channel. A commit marker recording the group's per-shard record counts
+// rides with the first participating shard, making cross-shard recovery
+// atomic: replay merge-reads all shards in epoch order and rolls back to
+// the last group durable on every shard, so a crash that tears shards at
+// different epochs never resurrects half a commit group.
+//
+// Epoch advancement is untouched by the fan-out: the global read epoch
+// advances only after the whole group is durable everywhere and fully
+// applied, which is what preserves snapshot isolation. Checkpoints rotate
+// all shard files at a quiescent point and record per-shard truncation
+// epochs in the checkpoint metadata.
+//
 // Write transactions that return ErrConflict or ErrLockTimeout have been
 // aborted under first-committer-wins; retry them (see IsRetryable).
 //
