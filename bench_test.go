@@ -7,6 +7,7 @@
 package livegraph_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -518,6 +519,63 @@ func BenchmarkTable10(b *testing.B) {
 	b.Run("ConnCompCSR", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			analytics.ConnComp(analytics.CSRView{G: cg}, 4)
+		}
+	})
+}
+
+// ---- Two-hop traversal: the v2 builder vs hand-rolled nested loops ---------
+
+// BenchmarkTwoHopTraversal measures the paper's §7 friends-of-friends
+// pattern on a power-law graph, comparing the composable traversal builder
+// against explicitly nested iterator loops — the builder compiles to the
+// same nested sequential TEL scans, so the two should track each other.
+func BenchmarkTwoHopTraversal(b *testing.B) {
+	edges := fig1Edges()
+	g := openBench(b)
+	loadLG(b, g, edges)
+	ctx := context.Background()
+	snap, err := g.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer snap.Release()
+
+	b.Run("Builder", func(b *testing.B) {
+		sampler := kron.NewDegreeSampler(edges, 7)
+		visited := int64(0)
+		for i := 0; i < b.N; i++ {
+			res, err := core.Traverse(core.VertexID(sampler.Next())).Out(0).Out(0).Run(ctx, snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			visited += int64(len(res))
+		}
+		b.ReportMetric(float64(visited)/float64(b.N), "results/op")
+	})
+	b.Run("HandRolled", func(b *testing.B) {
+		sampler := kron.NewDegreeSampler(edges, 7)
+		visited := int64(0)
+		for i := 0; i < b.N; i++ {
+			var res []core.VertexID
+			it := snap.Neighbors(core.VertexID(sampler.Next()), 0)
+			for it.Next() {
+				it2 := snap.Neighbors(it.Dst(), 0)
+				for it2.Next() {
+					res = append(res, it2.Dst())
+				}
+			}
+			visited += int64(len(res))
+		}
+		b.ReportMetric(float64(visited)/float64(b.N), "results/op")
+	})
+	b.Run("BuilderDedupLimit", func(b *testing.B) {
+		// The server-shaped query: unique friends-of-friends, first 20.
+		sampler := kron.NewDegreeSampler(edges, 7)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Traverse(core.VertexID(sampler.Next())).
+				Out(0).Out(0).Dedup().Limit(20).Run(ctx, snap); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

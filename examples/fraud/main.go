@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -98,28 +99,37 @@ func main() {
 	}()
 
 	// Detector: on a fresh snapshot, find payment cycles of length 3 among
-	// accounts sharing a phone.
+	// accounts sharing a phone. The fraud-ring walk is the v2 traversal
+	// builder — a -(pays)-> b -(pays)-> c, filtered to candidate accounts —
+	// then a point lookup closes the cycle and a two-hop attribute
+	// traversal checks the shared phone.
+	ctx := context.Background()
 	detect := func() [][3]livegraph.VertexID {
 		var rings [][3]livegraph.VertexID
-		livegraph.View(g, func(tx *livegraph.Tx) error {
+		livegraph.ViewCtx(ctx, g, func(tx *livegraph.Tx) error {
+			inAccounts := func(_ livegraph.Reader, v livegraph.VertexID) bool { return v < accounts }
 			for a := livegraph.VertexID(0); a < accounts; a++ {
-				pays := tx.Neighbors(a, lPays)
-				for pays.Next() {
-					b := pays.Dst()
-					if b <= a || b >= accounts {
-						continue
+				bs, err := livegraph.Traverse(a).Out(lPays).
+					Filter(func(_ livegraph.Reader, b livegraph.VertexID) bool { return b > a && b < accounts }).
+					Dedup().Run(ctx, tx)
+				if err != nil {
+					return err
+				}
+				for _, b := range bs {
+					cs, err := livegraph.Traverse(b).Out(lPays).
+						Filter(inAccounts).Dedup().Run(ctx, tx)
+					if err != nil {
+						return err
 					}
-					pays2 := tx.Neighbors(b, lPays)
-					for pays2.Next() {
-						c := pays2.Dst()
-						if c <= a || c == b || c >= accounts {
+					for _, c := range cs {
+						if c <= a || c == b {
 							continue
 						}
 						// Cycle back to a?
 						if _, err := tx.GetEdge(c, lPays, a); err != nil {
 							continue
 						}
-						if sharedPhone(tx, a, b, c) {
+						if sharedPhone(ctx, tx, a, b, c) {
 							rings = append(rings, [3]livegraph.VertexID{a, b, c})
 						}
 					}
@@ -149,15 +159,22 @@ func main() {
 }
 
 // sharedPhone reports whether all three accounts use one common phone —
-// the 2-hop attribute join (account -> phone -> accounts).
-func sharedPhone(tx *livegraph.Tx, a, b, c livegraph.VertexID) bool {
-	phones := tx.Neighbors(a, lUsesPhone)
-	for phones.Next() {
-		p := phones.Dst()
+// the 2-hop attribute join (account -> phone -> accounts), expressed as a
+// traversal over any Reader: a's phone-mates are exactly the vertices two
+// hops out along usesPhone then phoneOf.
+func sharedPhone(ctx context.Context, r livegraph.Reader, a, b, c livegraph.VertexID) bool {
+	phones, err := livegraph.Traverse(a).Out(lUsesPhone).Dedup().Run(ctx, r)
+	if err != nil {
+		return false
+	}
+	for _, p := range phones {
+		mates, err := livegraph.Traverse(p).Out(lPhoneOf).Dedup().Run(ctx, r)
+		if err != nil {
+			return false
+		}
 		foundB, foundC := false, false
-		users := tx.Neighbors(p, lPhoneOf)
-		for users.Next() {
-			switch users.Dst() {
+		for _, m := range mates {
+			switch m {
 			case b:
 				foundB = true
 			case c:

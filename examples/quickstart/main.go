@@ -1,9 +1,11 @@
 // Quickstart: the basic LiveGraph API — open a graph, run write
-// transactions, scan adjacency lists on a consistent snapshot, and observe
-// snapshot isolation in action.
+// transactions, scan adjacency lists on a consistent snapshot, observe
+// snapshot isolation in action, and compose a multi-hop read with the v2
+// traversal builder.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,6 +72,31 @@ func main() {
 	livegraph.View(g, func(tx *livegraph.Tx) error {
 		props, _ := tx.GetEdge(alice, knows, bob)
 		fmt.Printf("alice->bob now: %s\n", props)
+		return nil
+	})
+
+	// Multi-hop reads compose: who do Alice's acquaintances know? The
+	// builder compiles to nested sequential TEL scans and runs on any
+	// Reader — a transaction here, a pinned snapshot elsewhere.
+	ctx := context.Background()
+	livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		return tx.InsertEdge(bob, knows, carol, nil)
+	})
+	livegraph.ViewCtx(ctx, g, func(tx *livegraph.Tx) error {
+		twoHop, err := livegraph.Traverse(alice).
+			Out(knows).Out(knows).
+			Filter(func(r livegraph.Reader, v livegraph.VertexID) bool { return v != alice }).
+			Dedup().
+			Run(ctx, tx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("alice's two-hop circle:")
+		for _, v := range twoHop {
+			name, _ := tx.GetVertex(v)
+			fmt.Printf(" %s", name)
+		}
+		fmt.Println()
 		return nil
 	})
 }

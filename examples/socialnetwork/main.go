@@ -4,10 +4,13 @@
 // LiveGraph instance.
 //
 // It runs concurrent writer goroutines (ingest) against concurrent readers
-// (timelines) and prints feed excerpts plus engine statistics.
+// (timelines), then uses the v2 traversal builder for the classic two-hop
+// query — friends-of-friends recommendations — and prints feed excerpts
+// plus engine statistics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -126,6 +129,33 @@ func main() {
 				shown++
 			}
 		}
+		return nil
+	})
+
+	// Friend recommendations: two sequential hops along the friend label,
+	// keeping strangers only — the §7 friends-of-friends workload as one
+	// composable traversal instead of hand-rolled nested loops.
+	ctx := context.Background()
+	livegraph.ViewCtx(ctx, g, func(tx *livegraph.Tx) error {
+		u := livegraph.VertexID(1)
+		direct := map[livegraph.VertexID]bool{u: true}
+		friends := tx.Neighbors(u, lFriend)
+		for friends.Next() {
+			direct[friends.Dst()] = true
+		}
+		recs, err := livegraph.Traverse(u).
+			Out(lFriend).Out(lFriend).
+			Filter(func(r livegraph.Reader, v livegraph.VertexID) bool { return !direct[v] }).
+			Dedup().Limit(5).
+			Run(ctx, tx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("friend recommendations for user %d:", u)
+		for _, v := range recs {
+			fmt.Printf(" %d", v)
+		}
+		fmt.Println()
 		return nil
 	})
 

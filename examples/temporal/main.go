@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -92,6 +93,16 @@ func main() {
 	then.Release()
 	now.Release()
 	fmt.Printf("followers removed since day 1: %d\n", removed)
+
+	// The same time travel composes with the v2 traversal builder: AsOf
+	// pins the past epoch, so one chain answers "who followed the account
+	// during the bot wave?" without touching snapshots by hand.
+	ctx := context.Background()
+	botWave, err := livegraph.Traverse(account).Out(follows).AsOf(day1).RunGraph(ctx, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("followers during the bot wave (via AsOf traversal): %d\n", len(botWave))
 
 	// Future epochs are refused; epochs outside a finite retention window
 	// return ErrHistoryGone (see TestSnapshotAtOutsideWindow).

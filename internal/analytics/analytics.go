@@ -37,9 +37,43 @@ func (v CSRView) ScanOut(src int64, fn func(dst int64) bool) { v.G.ScanNeighbors
 // OutDegree implements View.
 func (v CSRView) OutDegree(src int64) int { return v.G.Degree(src) }
 
+// ReaderView adapts any core.Reader — a transaction's view or a pinned
+// snapshot — to the kernels' View, so analytics program against the
+// unified v2 read surface. N is the vertex-ID space size at the reader's
+// epoch (e.g. Snapshot.NumVertices or Graph.NumVertices), which the Reader
+// interface deliberately does not carry.
+//
+// Concurrency follows the wrapped Reader's contract: a *Snapshot supports
+// any number of kernel workers, but a *Tx is not safe for concurrent use,
+// so kernels over a transaction view must run with workers = 1.
+type ReaderView struct {
+	R     core.Reader
+	N     int64
+	Label core.Label
+}
+
+// NumVertices implements View.
+func (v ReaderView) NumVertices() int64 { return v.N }
+
+// ScanOut implements View.
+func (v ReaderView) ScanOut(src int64, fn func(dst int64) bool) {
+	it := v.R.Neighbors(core.VertexID(src), v.Label)
+	for it.Next() {
+		if !fn(int64(it.Dst())) {
+			return
+		}
+	}
+}
+
+// OutDegree implements View.
+func (v ReaderView) OutDegree(src int64) int {
+	return v.R.Degree(core.VertexID(src), v.Label)
+}
+
 // SnapshotView adapts a pinned LiveGraph snapshot: analytics run directly
 // on the primary store's latest data (the "real-time analytics on fresh
-// data" path).
+// data" path). It is the callback-based fast path; ReaderView is the
+// general adapter over the unified Reader surface.
 type SnapshotView struct {
 	Snap  *core.Snapshot
 	Label core.Label

@@ -149,6 +149,47 @@ func TestSnapshotViewMatchesCSRView(t *testing.T) {
 	}
 }
 
+func TestReaderViewMatchesSnapshotView(t *testing.T) {
+	// The generic Reader adapter must agree with the snapshot fast path —
+	// over a snapshot AND over a read transaction (both are Readers).
+	g, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	edges := []csr.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 3, Dst: 2}, {Src: 4, Dst: 3}, {Src: 0, Dst: 4}}
+	tx, _ := g.Begin()
+	for i := 0; i < 5; i++ {
+		tx.AddVertex(nil)
+	}
+	for _, e := range edges {
+		tx.InsertEdge(core.VertexID(e.Src), 0, core.VertexID(e.Dst), nil)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := g.Snapshot()
+	defer snap.Release()
+	rtx, _ := g.BeginRead()
+	defer rtx.Commit()
+
+	want := PageRank(SnapshotView{Snap: snap, Label: 0}, 15, 2)
+	// A snapshot Reader supports parallel workers; a Tx Reader is
+	// single-goroutine only, so its kernel runs with workers = 1.
+	for _, tc := range []struct {
+		name    string
+		r       core.Reader
+		workers int
+	}{{"snapshot", snap, 2}, {"tx", rtx, 1}} {
+		got := PageRank(ReaderView{R: tc.r, N: g.NumVertices(), Label: 0}, 15, tc.workers)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("%s ReaderView: vertex %d rank %g, want %g", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestEmptyGraphKernels(t *testing.T) {
 	g := csr.Build(0, nil)
 	if r := PageRank(CSRView{g}, 5, 2); r != nil {

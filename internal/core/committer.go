@@ -72,6 +72,22 @@ func (c *committer) submit(tx *Tx) {
 	c.mu.Unlock()
 }
 
+// withdraw removes tx from the commit queue if no leader has claimed it
+// yet, returning whether it succeeded. Queue membership is guarded by qmu,
+// so a true result guarantees no leader will ever see the transaction —
+// CommitCtx uses this to turn a deadline into a definitive abort.
+func (c *committer) withdraw(tx *Tx) bool {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	for i, q := range c.queue {
+		if q == tx {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 func (c *committer) commitGroup(batch []*Tx) {
 	g := c.g
 

@@ -28,11 +28,26 @@ var (
 
 	// ErrClosed is returned when the graph has been closed.
 	ErrClosed = errors.New("livegraph: graph closed")
+
+	// ErrHistoryGone is returned by Graph.SnapshotAt (and by traversals
+	// using AsOf) when the requested epoch is older than the configured
+	// HistoryRetention window, so compaction may already have reclaimed
+	// versions it needs.
+	ErrHistoryGone = errors.New("livegraph: epoch outside the retained history window")
+
+	// ErrCommitOutcomeUnknown wraps the context error CommitCtx returns
+	// when the deadline fired after a group leader had already claimed the
+	// transaction: the commit may or may not become durable and visible.
+	// When CommitCtx returns a context error NOT wrapped in this sentinel,
+	// the transaction definitively did not commit. Check with
+	// errors.Is(err, ErrCommitOutcomeUnknown).
+	ErrCommitOutcomeUnknown = errors.New("livegraph: commit outcome unknown")
 )
 
 // IsRetryable reports whether err indicates a transient abort (conflict or
 // lock timeout) that callers should respond to by re-running the
-// transaction.
+// transaction. Context cancellation and deadline errors are deliberately
+// not retryable: the caller asked for the work to stop.
 func IsRetryable(err error) bool {
 	return errors.Is(err, ErrConflict) || errors.Is(err, ErrLockTimeout)
 }

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -315,6 +316,26 @@ func (g *Graph) markDirty(v VertexID) {
 // acquireSlot blocks until a worker slot is free. Slots bound concurrent
 // transactions to the reader-table size.
 func (g *Graph) acquireSlot() int { return <-g.slots }
+
+// acquireSlotCtx is acquireSlot bounded by ctx: when every worker slot is
+// taken and ctx is done first, it returns ctx.Err() instead of blocking
+// indefinitely.
+func (g *Graph) acquireSlotCtx(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	select {
+	case s := <-g.slots:
+		return s, nil
+	default:
+	}
+	select {
+	case s := <-g.slots:
+		return s, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
 
 func (g *Graph) releaseSlot(s int) { g.slots <- s }
 

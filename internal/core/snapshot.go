@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 )
@@ -22,19 +23,23 @@ type Snapshot struct {
 
 // Snapshot pins the latest committed state.
 func (g *Graph) Snapshot() (*Snapshot, error) {
+	return g.SnapshotCtx(context.Background())
+}
+
+// SnapshotCtx pins the latest committed state, waiting for a free worker
+// slot no longer than ctx allows.
+func (g *Graph) SnapshotCtx(ctx context.Context) (*Snapshot, error) {
 	if g.closed.Load() {
 		return nil, ErrClosed
 	}
-	slot := g.acquireSlot()
+	slot, err := g.acquireSlotCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	tre := g.epochs.ReadEpoch()
 	g.readers.Enter(slot, tre)
 	return &Snapshot{g: g, tre: tre, slot: slot}, nil
 }
-
-// ErrHistoryGone is returned by SnapshotAt when the requested epoch is
-// older than the configured HistoryRetention window, so compaction may
-// already have reclaimed versions it needs.
-var ErrHistoryGone = fmt.Errorf("livegraph: epoch outside the retained history window")
 
 // SnapshotAt pins a consistent view of the graph as of a *past* epoch —
 // temporal graph processing on the primary store (paper §9 future work).
@@ -42,6 +47,11 @@ var ErrHistoryGone = fmt.Errorf("livegraph: epoch outside the retained history w
 // have been opened with HistoryRetention > 0 for anything but the current
 // epoch to be dependable.
 func (g *Graph) SnapshotAt(epoch int64) (*Snapshot, error) {
+	return g.SnapshotAtCtx(context.Background(), epoch)
+}
+
+// SnapshotAtCtx is SnapshotAt with the worker-slot wait bounded by ctx.
+func (g *Graph) SnapshotAtCtx(ctx context.Context, epoch int64) (*Snapshot, error) {
 	if g.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -52,7 +62,10 @@ func (g *Graph) SnapshotAt(epoch int64) (*Snapshot, error) {
 	if epoch < cur-g.opts.HistoryRetention {
 		return nil, ErrHistoryGone
 	}
-	slot := g.acquireSlot()
+	slot, err := g.acquireSlotCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	g.readers.Enter(slot, epoch)
 	// Re-check after pinning: a compaction pass that computed its floor
 	// before we registered could still reclaim our versions, so the window
@@ -77,6 +90,9 @@ func (s *Snapshot) Release() {
 // Epoch returns the read epoch this snapshot observes.
 func (s *Snapshot) Epoch() int64 { return s.tre }
 
+// ReadEpoch returns the read epoch this snapshot observes (Reader).
+func (s *Snapshot) ReadEpoch() int64 { return s.tre }
+
 // NumVertices returns the vertex-ID space size at snapshot time.
 func (s *Snapshot) NumVertices() int64 { return s.g.nextVertex.Load() }
 
@@ -88,6 +104,40 @@ func (s *Snapshot) VertexData(v VertexID) ([]byte, bool) {
 		return nil, false
 	}
 	return ver.data, true
+}
+
+// GetVertex returns the payload of v, or ErrNotFound if v does not exist
+// (or is deleted) in this snapshot (Reader).
+func (s *Snapshot) GetVertex(v VertexID) ([]byte, error) {
+	data, ok := s.VertexData(v)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}
+
+// GetEdge returns the properties of the visible version of (src,label,dst),
+// or ErrNotFound (Reader). The returned slice aliases block memory.
+func (s *Snapshot) GetEdge(src VertexID, label Label, dst VertexID) ([]byte, error) {
+	t := s.g.telFor(src, label)
+	if t == nil {
+		return nil, ErrNotFound
+	}
+	s.g.touch(t)
+	return lookupEdge(t, t.Len(), dst, s.tre, 0)
+}
+
+// Neighbors returns a purely sequential iterator over the (src,label)
+// adjacency list at this snapshot's epoch, newest first (Reader). Every
+// call returns an independent iterator, so concurrent goroutines may scan
+// the same snapshot.
+func (s *Snapshot) Neighbors(src VertexID, label Label) *EdgeIter {
+	t := s.g.telFor(src, label)
+	if t == nil {
+		return &EdgeIter{done: true}
+	}
+	s.g.touch(t)
+	return newEdgeIter(s.g, t, t.Len(), s.tre, 0)
 }
 
 // ScanNeighbors sequentially scans the (v,label) adjacency list, invoking
@@ -129,13 +179,6 @@ func (s *Snapshot) Degree(v VertexID, label Label) int {
 
 // HasEdge reports whether a visible (v,label,dst) edge exists.
 func (s *Snapshot) HasEdge(v VertexID, label Label, dst VertexID) bool {
-	t := s.g.telFor(v, label)
-	if t == nil {
-		return false
-	}
-	s.g.touch(t)
-	if !t.MayContain(int64(dst)) {
-		return false
-	}
-	return t.FindLatest(int64(dst), t.Len(), s.tre, 0) >= 0
+	_, err := s.GetEdge(v, label, dst)
+	return err == nil
 }

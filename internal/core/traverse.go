@@ -1,0 +1,200 @@
+package core
+
+// The composable traversal API: multi-hop reads — friends-of-friends,
+// fraud-ring walks, temporal audits — expressed as a builder that compiles
+// to nested purely sequential TEL scans. A traversal never materialises
+// more state than the current frontier slice (plus, with Dedup, one seen
+// set per hop), so the paper's central access pattern — stream over a
+// contiguous log, decide visibility from data already in cache — is
+// preserved hop by hop. Because execution takes any Reader, one traversal
+// runs unchanged inside a transaction (*Tx, seeing its own writes), on a
+// pinned analytics snapshot (*Snapshot), or against a past epoch via AsOf.
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrAsOfMismatch is returned by Traversal.Run when AsOf was set but the
+// supplied Reader observes a different epoch; run the traversal with
+// RunGraph, or pin a snapshot at the requested epoch first.
+var ErrAsOfMismatch = errors.New("livegraph: traversal AsOf epoch differs from the reader's epoch")
+
+// ErrFrontierTooLarge is returned by a traversal whose intermediate
+// frontier outgrew the MaxFrontier bound — a safety valve for servers
+// running untrusted multi-hop queries, where a few hops on a dense graph
+// can otherwise expand multiplicatively without bound.
+var ErrFrontierTooLarge = errors.New("livegraph: traversal frontier exceeded MaxFrontier; narrow the walk with Dedup, Filter or Limit")
+
+const (
+	stepOut = iota
+	stepFilter
+)
+
+type travStep struct {
+	kind   int
+	label  Label                           // stepOut
+	filter func(r Reader, v VertexID) bool // stepFilter
+}
+
+// Traversal is a multi-hop traversal specification built by chaining Out,
+// Filter, Dedup, Limit and AsOf onto Traverse's result:
+//
+//	recs, err := core.Traverse(u).
+//	    Out(lFriend).Out(lFriend).     // two hops
+//	    Filter(func(r core.Reader, v core.VertexID) bool { return v != u }).
+//	    Dedup().Limit(10).
+//	    Run(ctx, tx)
+//
+// Building mutates the receiver (each method returns it for chaining); a
+// built Traversal is immutable during Run and may be executed many times,
+// concurrently, against different Readers.
+type Traversal struct {
+	src         []VertexID
+	steps       []travStep
+	limit       int
+	maxFrontier int
+	asOf        int64
+	hasAsOf     bool
+	dedup       bool
+}
+
+// Traverse starts a traversal from the given source vertices.
+func Traverse(src ...VertexID) *Traversal {
+	return &Traversal{src: append([]VertexID(nil), src...)}
+}
+
+// Out expands the frontier one hop along label: every visible (v,label,*)
+// edge of every frontier vertex, scanned newest first.
+func (t *Traversal) Out(label Label) *Traversal {
+	t.steps = append(t.steps, travStep{kind: stepOut, label: label})
+	return t
+}
+
+// Filter keeps only frontier vertices for which fn returns true. fn
+// receives the executing Reader, so it can consult vertex payloads or edge
+// properties at the traversal's snapshot.
+func (t *Traversal) Filter(fn func(r Reader, v VertexID) bool) *Traversal {
+	t.steps = append(t.steps, travStep{kind: stepFilter, filter: fn})
+	return t
+}
+
+// Dedup makes every hop emit each destination vertex at most once, keeping
+// frontiers small on dense graphs. Without it a vertex reachable along
+// multiple paths appears once per path (multiplicity semantics).
+func (t *Traversal) Dedup() *Traversal {
+	t.dedup = true
+	return t
+}
+
+// Limit caps the number of results. When the final step is a hop, the
+// underlying scans stop as soon as n results exist.
+func (t *Traversal) Limit(n int) *Traversal {
+	t.limit = n
+	return t
+}
+
+// MaxFrontier bounds the size every intermediate frontier may reach;
+// exceeding it aborts the run with ErrFrontierTooLarge. Zero means
+// unbounded (the default for trusted, in-process callers).
+func (t *Traversal) MaxFrontier(n int) *Traversal {
+	t.maxFrontier = n
+	return t
+}
+
+// AsOf runs the traversal against the graph as of a past epoch — temporal
+// time travel over the TELs' own version history. Execute with RunGraph
+// (which pins a snapshot at the epoch, subject to Options.HistoryRetention
+// — see ErrHistoryGone), or with Run against a Reader already at that
+// epoch.
+func (t *Traversal) AsOf(epoch int64) *Traversal {
+	t.asOf = epoch
+	t.hasAsOf = true
+	return t
+}
+
+// Run executes the traversal against r and returns the final frontier.
+// Cancelling ctx stops the traversal between scans.
+func (t *Traversal) Run(ctx context.Context, r Reader) ([]VertexID, error) {
+	if t.hasAsOf && r.ReadEpoch() != t.asOf {
+		return nil, ErrAsOfMismatch
+	}
+	return t.run(ctx, r)
+}
+
+// RunGraph pins a snapshot of g — at the AsOf epoch if one was set, at the
+// latest epoch otherwise — executes the traversal on it, and releases it.
+func (t *Traversal) RunGraph(ctx context.Context, g *Graph) ([]VertexID, error) {
+	var (
+		s   *Snapshot
+		err error
+	)
+	if t.hasAsOf {
+		s, err = g.SnapshotAtCtx(ctx, t.asOf)
+	} else {
+		s, err = g.SnapshotCtx(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer s.Release()
+	return t.run(ctx, s)
+}
+
+func (t *Traversal) run(ctx context.Context, r Reader) ([]VertexID, error) {
+	frontier := append([]VertexID(nil), t.src...)
+	lastStep := len(t.steps) - 1
+	for si, st := range t.steps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		switch st.kind {
+		case stepFilter:
+			kept := frontier[:0]
+			for _, v := range frontier {
+				if st.filter(r, v) {
+					kept = append(kept, v)
+				}
+			}
+			frontier = kept
+		case stepOut:
+			var seen map[VertexID]struct{}
+			if t.dedup {
+				seen = make(map[VertexID]struct{}, len(frontier))
+			}
+			// Short-circuit the scans only when this hop produces the
+			// final result set; earlier hops must stay complete because a
+			// later filter may drop vertices.
+			capped := t.limit > 0 && si == lastStep
+			next := make([]VertexID, 0, len(frontier))
+		hop:
+			for _, v := range frontier {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				it := r.Neighbors(v, st.label)
+				for it.Next() {
+					d := it.Dst()
+					if t.dedup {
+						if _, dup := seen[d]; dup {
+							continue
+						}
+						seen[d] = struct{}{}
+					}
+					next = append(next, d)
+					if t.maxFrontier > 0 && len(next) > t.maxFrontier {
+						return nil, ErrFrontierTooLarge
+					}
+					if capped && len(next) >= t.limit {
+						break hop
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	if t.limit > 0 && len(frontier) > t.limit {
+		frontier = frontier[:t.limit]
+	}
+	return frontier, nil
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"livegraph/internal/mvcc"
 	"livegraph/internal/storage"
 	"livegraph/internal/tel"
@@ -15,6 +18,7 @@ import (
 // A Tx is not safe for concurrent use by multiple goroutines.
 type Tx struct {
 	g      *Graph
+	ctx    context.Context // bounds lock waits; Background for Begin
 	slot   int
 	handle *storage.Handle
 	tre    int64 // transaction-local read epoch (TRE)
@@ -66,15 +70,26 @@ type vertexWrite struct {
 }
 
 // Begin starts a read-write transaction.
-func (g *Graph) Begin() (*Tx, error) {
+func (g *Graph) Begin() (*Tx, error) { return g.BeginCtx(context.Background()) }
+
+// BeginCtx starts a read-write transaction bound to ctx. The context bounds
+// the wait for a free worker slot here and every vertex-lock wait the
+// transaction performs later: once ctx is cancelled or its deadline passes,
+// the blocked operation aborts the transaction and returns ctx.Err()
+// (which is not retryable — see IsRetryable).
+func (g *Graph) BeginCtx(ctx context.Context) (*Tx, error) {
 	if g.closed.Load() {
 		return nil, ErrClosed
 	}
-	slot := g.acquireSlot()
+	slot, err := g.acquireSlotCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	tre := g.epochs.ReadEpoch()
 	g.readers.Enter(slot, tre)
 	return &Tx{
 		g:      g,
+		ctx:    ctx,
 		slot:   slot,
 		handle: g.handles[slot],
 		tre:    tre,
@@ -83,14 +98,22 @@ func (g *Graph) Begin() (*Tx, error) {
 }
 
 // BeginRead starts a read-only snapshot transaction.
-func (g *Graph) BeginRead() (*Tx, error) {
+func (g *Graph) BeginRead() (*Tx, error) { return g.BeginReadCtx(context.Background()) }
+
+// BeginReadCtx starts a read-only snapshot transaction, waiting for a free
+// worker slot no longer than ctx allows. Read-only transactions never take
+// locks, so after Begin the context is not consulted again.
+func (g *Graph) BeginReadCtx(ctx context.Context) (*Tx, error) {
 	if g.closed.Load() {
 		return nil, ErrClosed
 	}
-	slot := g.acquireSlot()
+	slot, err := g.acquireSlotCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	tre := g.epochs.ReadEpoch()
 	g.readers.Enter(slot, tre)
-	return &Tx{g: g, slot: slot, tre: tre, ro: true}, nil
+	return &Tx{g: g, ctx: ctx, slot: slot, tre: tre, ro: true}, nil
 }
 
 // ReadEpoch returns the snapshot epoch this transaction reads at.
@@ -103,15 +126,20 @@ func (tx *Tx) finish() {
 }
 
 // lock acquires the write lock for v (idempotent within the transaction).
-// On timeout the transaction is aborted and ErrLockTimeout returned.
+// On timeout the transaction is aborted and ErrLockTimeout returned; if the
+// transaction's context is cancelled first, the transaction is aborted and
+// ctx.Err() returned instead.
 func (tx *Tx) lock(v VertexID) error {
 	stripe := tx.g.locks.StripeOf(uint64(v))
 	if _, ok := tx.locked[stripe]; ok {
 		return nil
 	}
-	if !tx.g.locks.TryLock(uint64(v), tx.g.opts.LockTimeout) {
+	if err := tx.g.locks.TryLockCtx(tx.ctx, uint64(v), tx.g.opts.LockTimeout); err != nil {
 		tx.abortLocked()
-		return ErrLockTimeout
+		if err == mvcc.ErrLockTimeout {
+			return ErrLockTimeout
+		}
+		return err
 	}
 	if tx.locked == nil {
 		tx.locked = make(map[uint64]struct{})
@@ -394,14 +422,7 @@ func (tx *Tx) GetEdge(src VertexID, label Label, dst VertexID) ([]byte, error) {
 	if t == nil {
 		return nil, ErrNotFound
 	}
-	if !t.MayContain(int64(dst)) {
-		return nil, ErrNotFound
-	}
-	i := t.FindLatest(int64(dst), n, tx.tre, tx.tid)
-	if i < 0 {
-		return nil, ErrNotFound
-	}
-	return t.Props(i), nil
+	return lookupEdge(t, n, dst, tx.tre, tx.tid)
 }
 
 // readView resolves the TEL and entry bound this transaction should scan:
@@ -439,11 +460,7 @@ func (tx *Tx) Neighbors(src VertexID, label Label) *EdgeIter {
 	if t == nil {
 		return &EdgeIter{done: true}
 	}
-	it := &EdgeIter{t: t, it: t.Scan(n, tx.tre, tx.tid), lastPage: -1}
-	if tx.g.opts.PageCache != nil {
-		it.g = tx.g
-	}
-	return it
+	return newEdgeIter(tx.g, t, n, tx.tre, tx.tid)
 }
 
 // Next advances the iterator. It returns false when the scan is complete.
@@ -497,7 +514,88 @@ func (tx *Tx) Commit() error {
 	}
 	tx.commitRes = make(chan error, 1)
 	tx.g.commit.submit(tx)
-	err := <-tx.commitRes
+	return tx.settleCommit(<-tx.commitRes)
+}
+
+// CommitCtx is Commit with a deadline on the group-commit wait. Three
+// outcomes are possible:
+//
+//   - The group commits (or the engine aborts it) before ctx is done:
+//     identical to Commit.
+//   - ctx is done while the transaction is still queued, before any leader
+//     claimed it: the transaction is withdrawn from the queue and aborted —
+//     it definitively did not commit — and ctx.Err() is returned bare.
+//   - ctx is done after a leader claimed the group (e.g. mid-fsync on a
+//     slow device): CommitCtx returns immediately with ctx.Err() wrapped in
+//     ErrCommitOutcomeUnknown — the group may still become durable and
+//     visible. Callers with non-idempotent side effects must check
+//     errors.Is(err, ErrCommitOutcomeUnknown) before re-submitting.
+//
+// In every case the transaction is finished when CommitCtx returns (an
+// in-flight group is finalised in the background) and must not be used
+// again.
+func (tx *Tx) CommitCtx(ctx context.Context) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if tx.ro || (len(tx.telWrites) == 0 && len(tx.vWrites) == 0) {
+		// Releasing a snapshot involves no persistence; it always succeeds.
+		tx.unlockAll()
+		tx.finish()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		tx.abortLocked()
+		tx.g.stats.Aborts.Add(1)
+		return err
+	}
+	tx.commitRes = make(chan error, 1)
+	// submit blocks competing for group leadership, so it runs in a helper
+	// goroutine; the caller's goroutine stays free to observe ctx. The
+	// helper forwards the commit result (always ready once submit returns).
+	done := make(chan error, 1)
+	go func() {
+		tx.g.commit.submit(tx)
+		done <- <-tx.commitRes
+	}()
+	select {
+	case err := <-done:
+		return tx.settleCommit(err)
+	case <-ctx.Done():
+	}
+	if tx.g.commit.withdraw(tx) {
+		// No leader had claimed the transaction: abort it locally. The
+		// helper is (or will be) blocked reading commitRes; feed it the
+		// result so it exits.
+		tx.revert()
+		tx.unlockAll()
+		tx.finish()
+		tx.g.stats.Aborts.Add(1)
+		tx.commitRes <- ctx.Err()
+		return ctx.Err()
+	}
+	// The verdict may have landed in the same instant the deadline fired
+	// (select picks randomly among ready cases): prefer the definitive
+	// answer over an in-doubt one.
+	select {
+	case err := <-done:
+		return tx.settleCommit(err)
+	default:
+	}
+	// Withdrawal failed: either a leader already claimed the group, or (in
+	// a narrow race) the helper has not yet enqueued the transaction and
+	// some leader will claim it shortly. Both ways the commit is out of our
+	// hands and will run to a verdict. Detach: finalise bookkeeping in the
+	// background and report the indeterminate outcome to the caller now.
+	go func() {
+		tx.settleCommit(<-done)
+	}()
+	return fmt.Errorf("%w: %w", ErrCommitOutcomeUnknown, ctx.Err())
+}
+
+// settleCommit finishes the transaction with the committer's verdict and
+// maintains the commit/abort counters.
+func (tx *Tx) settleCommit(err error) error {
 	tx.finish()
 	if err != nil {
 		tx.g.stats.Aborts.Add(1)

@@ -7,6 +7,8 @@
 package mvcc
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -196,22 +198,40 @@ func (lt *LockTable) stripe(v uint64) *lockStripe {
 	return &lt.stripes[lt.StripeOf(v)]
 }
 
+// ErrLockTimeout is returned by TryLockCtx when the lock could not be
+// acquired before the timeout elapsed.
+var ErrLockTimeout = errors.New("mvcc: lock wait timed out")
+
 // TryLock attempts to lock vertex v, spinning and yielding until the
 // deadline. It returns false on timeout (caller must abort and may retry
 // the whole transaction).
 func (lt *LockTable) TryLock(v uint64, timeout time.Duration) bool {
+	return lt.TryLockCtx(context.Background(), v, timeout) == nil
+}
+
+// TryLockCtx is TryLock with cancellation: it returns nil once the lock is
+// held, ctx.Err() if the context is done first, or ErrLockTimeout after
+// timeout. The spin loop's backoff is capped well below typical deadlines,
+// so cancellation is observed promptly even under contention.
+func (lt *LockTable) TryLockCtx(ctx context.Context, v uint64, timeout time.Duration) error {
 	s := lt.stripe(v)
 	if s.mu.TryLock() {
-		return true
+		return nil
 	}
+	done := ctx.Done()
 	deadline := time.Now().Add(timeout)
 	backoff := time.Microsecond
 	for {
 		if s.mu.TryLock() {
-			return true
+			return nil
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
 		}
 		if time.Now().After(deadline) {
-			return false
+			return ErrLockTimeout
 		}
 		runtime.Gosched()
 		time.Sleep(backoff)

@@ -1,0 +1,279 @@
+package server
+
+// Tests for the v2 API surface over HTTP: the traversal endpoint, strict
+// parameter validation, and the client's retry-on-409 contract.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"livegraph/internal/core"
+)
+
+func seedChain(t *testing.T, c *Client) []int64 {
+	t.Helper()
+	// 0 -(L0)-> 1 -(L0)-> 2, and 1 -(L1)-> 3.
+	ids, err := c.Tx(
+		Op{Op: "addVertex"}, Op{Op: "addVertex"}, Op{Op: "addVertex"}, Op{Op: "addVertex"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Tx(
+		Op{Op: "insertEdge", Src: ids[0], Label: 0, Dst: ids[1]},
+		Op{Op: "insertEdge", Src: ids[1], Label: 0, Dst: ids[2]},
+		Op{Op: "insertEdge", Src: ids[1], Label: 1, Dst: ids[3]},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestTraverseEndpoint(t *testing.T) {
+	c, g := startServer(t, core.Options{})
+	ids := seedChain(t, c)
+
+	// Two hops along L0: 0 -> 1 -> 2.
+	got, epoch, err := c.Traverse(ids[0], []int64{0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != ids[2] {
+		t.Fatalf("traverse = %v, want [%d]", got, ids[2])
+	}
+	if epoch != g.ReadEpoch() {
+		t.Fatalf("epoch = %d, want %d", epoch, g.ReadEpoch())
+	}
+
+	// Mixed labels: L0 then L1 lands on 3.
+	got, _, err = c.Traverse(ids[0], []int64{0, 1}, nil)
+	if err != nil || len(got) != 1 || got[0] != ids[3] {
+		t.Fatalf("mixed-label traverse = %v, %v", got, err)
+	}
+
+	// Limit caps the frontier.
+	if _, err := c.Tx(Op{Op: "insertEdge", Src: ids[0], Label: 0, Dst: ids[2]}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = c.Traverse(ids[0], []int64{0}, &TraverseOptions{Limit: 1})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("limited traverse = %v, %v", got, err)
+	}
+}
+
+func TestTraverseEndpointAsOf(t *testing.T) {
+	c, g := startServer(t, core.Options{HistoryRetention: 1 << 30})
+	ids := seedChain(t, c)
+	before := g.ReadEpoch()
+	if _, err := c.Tx(Op{Op: "deleteEdge", Src: ids[1], Label: 0, Dst: ids[2]}); err != nil {
+		t.Fatal(err)
+	}
+
+	now, _, err := c.Traverse(ids[0], []int64{0, 0}, nil)
+	if err != nil || len(now) != 0 {
+		t.Fatalf("post-delete traverse = %v, %v", now, err)
+	}
+	old, epoch, err := c.Traverse(ids[0], []int64{0, 0}, &TraverseOptions{AsOf: before, AsOfSet: true})
+	if err != nil || len(old) != 1 || old[0] != ids[2] || epoch != before {
+		t.Fatalf("AsOf traverse = %v (epoch %d), %v", old, epoch, err)
+	}
+}
+
+func TestTraverseEndpointHistoryGone(t *testing.T) {
+	c, g := startServer(t, core.Options{HistoryRetention: 1})
+	ids := seedChain(t, c)
+	early := g.ReadEpoch()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Tx(Op{Op: "insertEdge", Src: ids[0], Label: 2, Dst: ids[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(c.Base + fmt.Sprintf("/v1/traverse/%d?out=0&asof=%d", ids[0], early))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("asof outside retention: status %d, want 410", resp.StatusCode)
+	}
+}
+
+func TestTraverseEndpointValidation(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	seedChain(t, c)
+	for _, url := range []string{
+		"/v1/traverse/0",        // no hops
+		"/v1/traverse/0?out=x",  // junk label
+		"/v1/traverse/0?out=-1", // negative label
+		"/v1/traverse/-1?out=0", // negative source
+		"/v1/traverse/0?out=0&limit=-2",
+		"/v1/traverse/0?out=0&limit=abc",
+		"/v1/traverse/0?out=0&asof=zzz",
+		"/v1/traverse/0?out=0&dedup=yes", // junk dedup must not be silently dropped
+	} {
+		resp, err := http.Get(c.Base + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestTraverseEndpointResourceGuards(t *testing.T) {
+	c, g := startServer(t, core.Options{})
+	ids := seedChain(t, c)
+
+	// Hop count beyond MaxTraverseHops is refused up front.
+	hops := ""
+	for i := 0; i < 9; i++ {
+		hops += "&out=0"
+	}
+	resp, err := http.Get(c.Base + fmt.Sprintf("/v1/traverse/%d?%s", ids[0], hops[1:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("9 hops: status %d, want 400", resp.StatusCode)
+	}
+
+	// A frontier outgrowing MaxTraverseFrontier aborts with 422. Shrink
+	// the bound and fan 0 out to three neighbors.
+	srv := New(g)
+	srv.MaxTraverseFrontier = 2
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if _, err := c.Tx(
+		Op{Op: "insertEdge", Src: ids[0], Label: 0, Dst: ids[2]},
+		Op{Op: "insertEdge", Src: ids[0], Label: 0, Dst: ids[3]},
+	); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + fmt.Sprintf("/v1/traverse/%d?out=0", ids[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("overgrown frontier: status %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestNeighborsLimitValidation(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	ids := seedChain(t, c)
+	for _, q := range []string{"limit=-1", "limit=abc", "limit=1.5", "limit="} {
+		url := fmt.Sprintf("%s/v1/neighbors/%d/0?%s", c.Base, ids[0], q)
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		want := http.StatusBadRequest
+		if q == "limit=" { // empty means "no limit", the documented default
+			want = http.StatusOK
+		}
+		if resp.StatusCode != want {
+			t.Errorf("?%s: status %d, want %d", q, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestNegativePathIDsRejected(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	seedChain(t, c)
+	for _, url := range []string{
+		"/v1/vertex/-1",
+		"/v1/edge/-1/0/1", "/v1/edge/0/-1/1", "/v1/edge/0/0/-1",
+		"/v1/neighbors/-7/0", "/v1/neighbors/0/-1",
+		"/v1/degree/-1/0",
+	} {
+		resp, err := http.Get(c.Base + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
+// TestClientRetriesConflicts fronts the client with a handler that fails
+// with 409 a fixed number of times before succeeding: the client must keep
+// retrying (with backoff) and surface success, never the transient 409.
+func TestClientRetriesConflicts(t *testing.T) {
+	var calls atomic.Int64
+	const failures = 3
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failures {
+			httpErr(w, http.StatusConflict, "transaction kept conflicting")
+			return
+		}
+		writeJSON(w, TxResponse{VertexIDs: []int64{42}})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.RetryBase = time.Millisecond // keep the test fast
+	start := time.Now()
+	ids, err := c.Tx(Op{Op: "addVertex"})
+	if err != nil {
+		t.Fatalf("Tx after %d conflicts: %v", failures, err)
+	}
+	if len(ids) != 1 || ids[0] != 42 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if got := calls.Load(); got != failures+1 {
+		t.Fatalf("server saw %d calls, want %d", got, failures+1)
+	}
+	if time.Since(start) < 3*time.Millisecond {
+		t.Fatal("no backoff between retries")
+	}
+}
+
+// TestClientConflictRetriesExhausted: persistent conflicts eventually
+// surface as an error after exactly MaxRetries+1 attempts.
+func TestClientConflictRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		httpErr(w, http.StatusConflict, "transaction kept conflicting")
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.MaxRetries = 2
+	c.RetryBase = time.Millisecond
+	if _, err := c.Tx(Op{Op: "addVertex"}); err == nil {
+		t.Fatal("persistent conflict must surface an error")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + MaxRetries)", got)
+	}
+}
+
+// TestClientDoesNotRetryNonConflict: a 400 is permanent; one attempt only.
+func TestClientDoesNotRetryNonConflict(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		httpErr(w, http.StatusBadRequest, "unknown op")
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := c.Tx(Op{Op: "bogus"}); err == nil {
+		t.Fatal("400 must surface an error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
+	"time"
 )
 
 // Client is a minimal Go client for the HTTP API, used by cmd/lgserver's
@@ -14,32 +17,67 @@ import (
 type Client struct {
 	Base string
 	HC   *http.Client
+
+	// MaxRetries caps client-side retries of retryable transaction
+	// failures (HTTP 409, the server's "kept conflicting" answer —
+	// the wire form of the engine's IsRetryable contract). Each retry
+	// backs off exponentially from RetryBase, capped at RetryMax.
+	MaxRetries int
+	RetryBase  time.Duration
+	RetryMax   time.Duration
 }
 
 // NewClient targets a server at base (e.g. "http://localhost:7450").
 func NewClient(base string) *Client {
-	return &Client{Base: base, HC: http.DefaultClient}
+	return &Client{
+		Base:       base,
+		HC:         http.DefaultClient,
+		MaxRetries: 4,
+		RetryBase:  2 * time.Millisecond,
+		RetryMax:   100 * time.Millisecond,
+	}
 }
 
-// Tx executes ops atomically and returns created vertex IDs.
+// Tx executes ops atomically and returns created vertex IDs. A 409
+// response means the server aborted the transaction under
+// first-committer-wins after exhausting its own retries — the same
+// transient condition the engine reports via IsRetryable — so the client
+// retries it too, with capped exponential backoff, before giving up.
 func (c *Client) Tx(ops ...Op) ([]int64, error) {
 	body, err := json.Marshal(TxRequest{Ops: ops})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.HC.Post(c.Base+"/v1/tx", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	backoff := c.RetryBase
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.HC.Post(c.Base+"/v1/tx", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			var out TxResponse
+			err := json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			return out.VertexIDs, nil
+		}
+		lastErr = apiError(resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict || attempt >= c.MaxRetries {
+			return nil, lastErr
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if max := c.RetryMax; max > 0 && backoff > max {
+			backoff = max
+		}
 	}
-	var out TxResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return out.VertexIDs, nil
 }
 
 // AddVertex creates one vertex.
@@ -95,6 +133,40 @@ func (c *Client) Degree(src, label int64) (int, error) {
 		return 0, err
 	}
 	return out.Degree, nil
+}
+
+// TraverseOptions tune a client-side traversal; the zero value (or nil)
+// means no limit, no dedup, latest epoch.
+type TraverseOptions struct {
+	Limit   int   // cap results (0 = all)
+	Dedup   bool  // emit each destination at most once per hop
+	AsOf    int64 // past epoch to observe when AsOfSet (0 is a valid epoch)
+	AsOfSet bool  // send the asof parameter
+}
+
+// Traverse runs a multi-hop traversal on the server: one hop per label in
+// out, in order. It returns the final frontier and the epoch observed.
+func (c *Client) Traverse(src int64, out []int64, opt *TraverseOptions) ([]int64, int64, error) {
+	q := url.Values{}
+	for _, l := range out {
+		q.Add("out", strconv.FormatInt(l, 10))
+	}
+	if opt != nil {
+		if opt.Limit > 0 {
+			q.Set("limit", strconv.Itoa(opt.Limit))
+		}
+		if opt.Dedup {
+			q.Set("dedup", "1")
+		}
+		if opt.AsOfSet {
+			q.Set("asof", strconv.FormatInt(opt.AsOf, 10))
+		}
+	}
+	var resp TraverseResponse
+	if err := c.get(fmt.Sprintf("/v1/traverse/%d?%s", src, q.Encode()), &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Vertices, resp.Epoch, nil
 }
 
 // Stats fetches engine counters.

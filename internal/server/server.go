@@ -11,6 +11,7 @@
 //	GET  /v1/edge/{src}/{label}/{dst}               -> edge properties
 //	GET  /v1/neighbors/{src}/{label}?limit=N        -> adjacency list (newest first)
 //	GET  /v1/degree/{src}/{label}                   -> edge count
+//	GET  /v1/traverse/{src}?out=L&out=L2&...        -> multi-hop traversal
 //	GET  /v1/stats                                  -> engine counters
 //	POST /v1/checkpoint                             -> durable checkpoint
 //
@@ -22,12 +23,24 @@
 //	{"op":"insertEdge","src":1,"label":0,"dst":2,"props":...}
 //	{"op":"upsertEdge",...} {"op":"deleteEdge",...}
 //
+// The traversal endpoint compiles its query into the engine's composable
+// traversal builder: each repeated out=LABEL parameter is one hop, and
+// limit=N, dedup=1 and asof=EPOCH map to the builder's Limit, Dedup and
+// AsOf. asof epochs outside the retention window return 410 Gone.
+//
+// Every handler threads the request context through the engine — begin,
+// vertex-lock and group-commit waits all end when the client disconnects
+// or the request deadline passes (499-style 503 for writes).
+//
 // Conflicted transactions are retried server-side up to MaxRetries before
-// returning 409.
+// returning 409; clients should treat 409 as retryable (server.Client
+// does, with capped exponential backoff).
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -40,18 +53,25 @@ import (
 type Server struct {
 	G          *core.Graph
 	MaxRetries int
-	mux        *http.ServeMux
+	// MaxTraverseHops and MaxTraverseFrontier bound /v1/traverse requests:
+	// hop count is capped up front (400) and a walk whose intermediate
+	// frontier outgrows the bound is aborted (422), so one dense-graph
+	// query cannot expand degree^hops vertex IDs and exhaust the server.
+	MaxTraverseHops     int
+	MaxTraverseFrontier int
+	mux                 *http.ServeMux
 }
 
 // New builds a server for g.
 func New(g *core.Graph) *Server {
-	s := &Server{G: g, MaxRetries: 16}
+	s := &Server{G: g, MaxRetries: 16, MaxTraverseHops: 8, MaxTraverseFrontier: 1 << 20}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tx", s.handleTx)
 	mux.HandleFunc("GET /v1/vertex/", s.handleVertex)
 	mux.HandleFunc("GET /v1/edge/", s.handleEdge)
 	mux.HandleFunc("GET /v1/neighbors/", s.handleNeighbors)
 	mux.HandleFunc("GET /v1/degree/", s.handleDegree)
+	mux.HandleFunc("GET /v1/traverse/", s.handleTraverse)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux = mux
@@ -92,27 +112,36 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "empty transaction")
 		return
 	}
+	ctx := r.Context()
 	var resp TxResponse
 	var lastErr error
 	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
 		resp = TxResponse{}
-		tx, err := s.G.Begin()
+		tx, err := s.G.BeginCtx(ctx)
 		if err != nil {
 			httpErr(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
 		lastErr = s.applyOps(tx, req.Ops, &resp)
 		if lastErr != nil {
+			tx.Abort()
+			if ctxDone(lastErr) {
+				httpErr(w, http.StatusServiceUnavailable, "%v", lastErr)
+				return
+			}
 			if core.IsRetryable(lastErr) {
 				continue
 			}
-			tx.Abort()
 			httpErr(w, http.StatusBadRequest, "%v", lastErr)
 			return
 		}
-		lastErr = tx.Commit()
+		lastErr = tx.CommitCtx(ctx)
 		if lastErr == nil {
 			writeJSON(w, resp)
+			return
+		}
+		if ctxDone(lastErr) {
+			httpErr(w, http.StatusServiceUnavailable, "%v", lastErr)
 			return
 		}
 		if !core.IsRetryable(lastErr) {
@@ -121,6 +150,12 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	httpErr(w, http.StatusConflict, "transaction kept conflicting: %v", lastErr)
+}
+
+// ctxDone reports whether err is a context cancellation or deadline error —
+// the request is over, so retrying server-side would be wasted work.
+func ctxDone(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (s *Server) applyOps(tx *core.Tx, ops []Op, resp *TxResponse) error {
@@ -161,6 +196,8 @@ func (s *Server) applyOps(tx *core.Tx, ops []Op, resp *TxResponse) error {
 }
 
 // pathInts parses the numeric tail segments of a URL path after prefix.
+// Vertex IDs, labels and epochs are all non-negative, so negative segments
+// are rejected uniformly here.
 func pathInts(path, prefix string, n int) ([]int64, error) {
 	rest := strings.TrimPrefix(path, prefix)
 	parts := strings.Split(strings.Trim(rest, "/"), "/")
@@ -173,9 +210,27 @@ func pathInts(path, prefix string, n int) ([]int64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("segment %q: %w", p, err)
 		}
+		if v < 0 {
+			return nil, fmt.Errorf("segment %q: must be non-negative", p)
+		}
 		out[i] = v
 	}
 	return out, nil
+}
+
+// readView runs fn against a snapshot-isolated Reader for the request,
+// translating begin failures (graph closed, request cancelled while
+// waiting for a worker slot) into 503. All read-only handlers go through
+// here: the v2 surface means they share one acquisition path no matter
+// which Reader implementation serves them.
+func (s *Server) readView(w http.ResponseWriter, r *http.Request, fn func(rd core.Reader)) {
+	tx, err := s.G.BeginReadCtx(r.Context())
+	if err != nil {
+		httpErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer tx.Commit()
+	fn(tx)
 }
 
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
@@ -184,18 +239,14 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	tx, err := s.G.BeginRead()
-	if err != nil {
-		httpErr(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	defer tx.Commit()
-	data, err := tx.GetVertex(core.VertexID(ids[0]))
-	if err != nil {
-		httpErr(w, http.StatusNotFound, "vertex %d not found", ids[0])
-		return
-	}
-	writeJSON(w, map[string][]byte{"data": data})
+	s.readView(w, r, func(rd core.Reader) {
+		data, err := rd.GetVertex(core.VertexID(ids[0]))
+		if err != nil {
+			httpErr(w, http.StatusNotFound, "vertex %d not found", ids[0])
+			return
+		}
+		writeJSON(w, map[string][]byte{"data": data})
+	})
 }
 
 func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
@@ -204,18 +255,14 @@ func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	tx, err := s.G.BeginRead()
-	if err != nil {
-		httpErr(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	}
-	defer tx.Commit()
-	props, err := tx.GetEdge(core.VertexID(ids[0]), core.Label(ids[1]), core.VertexID(ids[2]))
-	if err != nil {
-		httpErr(w, http.StatusNotFound, "edge not found")
-		return
-	}
-	writeJSON(w, map[string][]byte{"props": props})
+	s.readView(w, r, func(rd core.Reader) {
+		props, err := rd.GetEdge(core.VertexID(ids[0]), core.Label(ids[1]), core.VertexID(ids[2]))
+		if err != nil {
+			httpErr(w, http.StatusNotFound, "edge not found")
+			return
+		}
+		writeJSON(w, map[string][]byte{"props": props})
+	})
 }
 
 // Neighbor is one adjacency list element.
@@ -224,31 +271,47 @@ type Neighbor struct {
 	Props []byte `json:"props,omitempty"`
 }
 
+// queryInt parses an optional non-negative integer query parameter,
+// returning def when absent and an error on junk (including negatives) —
+// silently ignoring a malformed limit would return the full adjacency list
+// to a client that asked for a page.
+func queryInt(r *http.Request, name string, def int64) (int64, error) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(q, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: not an integer", name, q)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("%s=%q: must be non-negative", name, q)
+	}
+	return v, nil
+}
+
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	ids, err := pathInts(r.URL.Path, "/v1/neighbors/", 2)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	limit := 0
-	if q := r.URL.Query().Get("limit"); q != "" {
-		limit, _ = strconv.Atoi(q)
-	}
-	tx, err := s.G.BeginRead()
+	limit, err := queryInt(r, "limit", 0)
 	if err != nil {
-		httpErr(w, http.StatusServiceUnavailable, "%v", err)
+		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	defer tx.Commit()
-	out := []Neighbor{}
-	it := tx.Neighbors(core.VertexID(ids[0]), core.Label(ids[1]))
-	for it.Next() {
-		out = append(out, Neighbor{Dst: int64(it.Dst()), Props: append([]byte(nil), it.Props()...)})
-		if limit > 0 && len(out) >= limit {
-			break
+	s.readView(w, r, func(rd core.Reader) {
+		out := []Neighbor{}
+		it := rd.Neighbors(core.VertexID(ids[0]), core.Label(ids[1]))
+		for it.Next() {
+			out = append(out, Neighbor{Dst: int64(it.Dst()), Props: append([]byte(nil), it.Props()...)})
+			if limit > 0 && int64(len(out)) >= limit {
+				break
+			}
 		}
-	}
-	writeJSON(w, out)
+		writeJSON(w, out)
+	})
 }
 
 func (s *Server) handleDegree(w http.ResponseWriter, r *http.Request) {
@@ -257,13 +320,102 @@ func (s *Server) handleDegree(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	tx, err := s.G.BeginRead()
+	s.readView(w, r, func(rd core.Reader) {
+		writeJSON(w, map[string]int{"degree": rd.Degree(core.VertexID(ids[0]), core.Label(ids[1]))})
+	})
+}
+
+// TraverseResponse is the /v1/traverse result: the final frontier and the
+// epoch the traversal observed.
+type TraverseResponse struct {
+	Epoch    int64   `json:"epoch"`
+	Vertices []int64 `json:"vertices"`
+}
+
+func (s *Server) handleTraverse(w http.ResponseWriter, r *http.Request) {
+	ids, err := pathInts(r.URL.Path, "/v1/traverse/", 1)
 	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := r.URL.Query()
+	outs := q["out"]
+	if len(outs) == 0 {
+		httpErr(w, http.StatusBadRequest, "at least one out=LABEL hop required")
+		return
+	}
+	if max := s.MaxTraverseHops; max > 0 && len(outs) > max {
+		httpErr(w, http.StatusBadRequest, "at most %d hops per traversal", max)
+		return
+	}
+	t := core.Traverse(core.VertexID(ids[0]))
+	if s.MaxTraverseFrontier > 0 {
+		t.MaxFrontier(s.MaxTraverseFrontier)
+	}
+	for _, o := range outs {
+		label, err := strconv.ParseInt(o, 10, 64)
+		if err != nil || label < 0 {
+			httpErr(w, http.StatusBadRequest, "out=%q: must be a non-negative label", o)
+			return
+		}
+		t.Out(core.Label(label))
+	}
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if limit > 0 {
+		t.Limit(int(limit))
+	}
+	switch q.Get("dedup") {
+	case "1", "true":
+		t.Dedup()
+	case "", "0", "false":
+	default:
+		httpErr(w, http.StatusBadRequest, "dedup=%q: want 1/true/0/false", q.Get("dedup"))
+		return
+	}
+	asOf, err := queryInt(r, "asof", -1)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Pin the snapshot here (rather than RunGraph) so the response can
+	// report the epoch the traversal actually observed.
+	var snap *core.Snapshot
+	if asOf >= 0 {
+		t.AsOf(asOf)
+		snap, err = s.G.SnapshotAtCtx(r.Context(), asOf)
+	} else {
+		snap, err = s.G.SnapshotCtx(r.Context())
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrHistoryGone):
+			httpErr(w, http.StatusGone, "%v", err)
+		case errors.Is(err, core.ErrClosed) || ctxDone(err):
+			httpErr(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			httpErr(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	defer snap.Release()
+	res, err := t.Run(r.Context(), snap)
+	if err != nil {
+		if errors.Is(err, core.ErrFrontierTooLarge) {
+			httpErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
 		httpErr(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	defer tx.Commit()
-	writeJSON(w, map[string]int{"degree": tx.Degree(core.VertexID(ids[0]), core.Label(ids[1]))})
+	resp := TraverseResponse{Epoch: snap.ReadEpoch(), Vertices: make([]int64, len(res))}
+	for i, v := range res {
+		resp.Vertices[i] = int64(v)
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

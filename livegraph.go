@@ -16,22 +16,62 @@
 //	g, err := livegraph.Open(livegraph.Options{})   // in-memory
 //	defer g.Close()
 //
-//	tx, _ := g.Begin()
-//	alice, _ := tx.AddVertex([]byte("alice"))
-//	bob, _   := tx.AddVertex([]byte("bob"))
-//	tx.InsertEdge(alice, livegraph.Label(0), bob, []byte("2020-08-29"))
-//	tx.Commit()
+//	var alice, bob livegraph.VertexID
+//	livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+//	    alice, _ = tx.AddVertex([]byte("alice"))
+//	    bob, _ = tx.AddVertex([]byte("bob"))
+//	    return tx.InsertEdge(alice, livegraph.Label(0), bob, []byte("2020-08-29"))
+//	})
 //
-//	r, _ := g.BeginRead()                 // consistent snapshot
-//	it := r.Neighbors(alice, 0)           // purely sequential scan
-//	for it.Next() {
-//	    fmt.Println(it.Dst(), string(it.Props()))
-//	}
-//	r.Commit()
+//	livegraph.View(g, func(tx *livegraph.Tx) error {
+//	    it := tx.Neighbors(alice, 0)      // purely sequential scan
+//	    for it.Next() {
+//	        fmt.Println(it.Dst(), string(it.Props()))
+//	    }
+//	    return nil
+//	})
 //
 // Set Options.Dir for durability (write-ahead log + checkpoints); pass an
 // iosim device profile to model Optane/NAND persistence hardware, and a
 // page cache to simulate out-of-core execution.
+//
+// # API v2: readers, contexts, traversals
+//
+// Every way of reading the graph implements one interface. A transaction
+// (*Tx) and a pinned analytics snapshot (*Snapshot) both satisfy Reader —
+// GetVertex, GetEdge, Neighbors, Degree, ReadEpoch — so point lookups,
+// adjacency scans, multi-hop traversals and whole-graph kernels are written
+// once and run against either. Helpers that only read should accept a
+// Reader, not a concrete type.
+//
+// Operations take contexts. Graph.BeginCtx / BeginReadCtx bound the wait
+// for a worker slot; a write transaction's vertex-lock waits respect its
+// context's deadline (returning ctx.Err() instead of blocking up to
+// Options.LockTimeout); Tx.CommitCtx bounds the group-commit wait, turning
+// a deadline into a definitive abort while the transaction is still queued
+// (see CommitCtx for the in-flight case). UpdateCtx and ViewCtx are the
+// context-aware forms of Update and View; the HTTP server (internal/server)
+// threads each request's context through begin, lock and commit waits.
+//
+// Multi-hop reads compose with the traversal builder, which compiles to
+// nested purely sequential TEL scans and keeps no intermediate state beyond
+// the current frontier:
+//
+//	// friends-of-friends recommendations, two sequential hops
+//	recs, err := livegraph.Traverse(alice).
+//	    Out(lFriend).Out(lFriend).
+//	    Filter(func(r livegraph.Reader, v livegraph.VertexID) bool { return v != alice }).
+//	    Dedup().Limit(10).
+//	    Run(ctx, tx)                       // tx, a snapshot — any Reader
+//
+//	// the same walk over last week's graph (temporal time travel)
+//	old, err := livegraph.Traverse(alice).
+//	    Out(lFriend).Out(lFriend).AsOf(epoch).
+//	    RunGraph(ctx, g)                   // pins a snapshot at the epoch
+//
+// AsOf requires the epoch to be within Options.HistoryRetention; older
+// epochs return ErrHistoryGone. The server exposes the same builder as
+// GET /v1/traverse.
 //
 // # Architecture: the sharded commit pipeline
 //
@@ -59,6 +99,8 @@
 //
 // Write transactions that return ErrConflict or ErrLockTimeout have been
 // aborted under first-committer-wins; retry them (see IsRetryable).
+// Context cancellation and deadline errors also abort the transaction but
+// are not retryable.
 //
 // For whole-graph analytics, Graph.Snapshot pins a consistent view that is
 // safe for concurrent use by parallel workers (see internal/analytics for
@@ -66,6 +108,8 @@
 package livegraph
 
 import (
+	"context"
+
 	"livegraph/internal/core"
 )
 
@@ -91,6 +135,15 @@ type EdgeIter = core.EdgeIter
 // Snapshot is a pinned consistent read-only view for analytics.
 type Snapshot = core.Snapshot
 
+// Reader is the unified read surface implemented by both *Tx and
+// *Snapshot: GetVertex, GetEdge, Neighbors, Degree and ReadEpoch over one
+// consistent epoch. Code that only reads the graph should accept a Reader.
+type Reader = core.Reader
+
+// Traversal is a composable multi-hop traversal specification; build one
+// with Traverse and execute it against any Reader or a Graph.
+type Traversal = core.Traversal
+
 // GraphStats aggregates engine counters.
 type GraphStats = core.GraphStats
 
@@ -103,37 +156,65 @@ var (
 	ErrReadOnly    = core.ErrReadOnly
 	ErrNotFound    = core.ErrNotFound
 	ErrClosed      = core.ErrClosed
-	// ErrHistoryGone is returned by Graph.SnapshotAt for epochs older than
-	// Options.HistoryRetention.
+	// ErrHistoryGone is returned by Graph.SnapshotAt and Traversal.AsOf
+	// for epochs older than Options.HistoryRetention.
 	ErrHistoryGone = core.ErrHistoryGone
+	// ErrAsOfMismatch is returned by Traversal.Run when the traversal's
+	// AsOf epoch differs from the supplied Reader's epoch.
+	ErrAsOfMismatch = core.ErrAsOfMismatch
+	// ErrFrontierTooLarge is returned by a traversal whose intermediate
+	// frontier outgrew the Traversal.MaxFrontier bound.
+	ErrFrontierTooLarge = core.ErrFrontierTooLarge
+	// ErrCommitOutcomeUnknown wraps the context error Tx.CommitCtx returns
+	// when the deadline fired after a leader claimed the commit group: the
+	// transaction may still commit. A context error without this wrapper
+	// means the transaction definitively did not commit.
+	ErrCommitOutcomeUnknown = core.ErrCommitOutcomeUnknown
 )
 
 // Open creates (or, when Options.Dir is set, recovers) a graph.
 func Open(opts Options) (*Graph, error) { return core.Open(opts) }
 
+// Traverse starts a composable traversal from the given source vertices:
+// chain Out, Filter, Dedup, Limit and AsOf, then Run it on any Reader (or
+// RunGraph to pin a snapshot). The traversal executes as nested purely
+// sequential TEL scans, materialising nothing beyond the current frontier.
+func Traverse(src ...VertexID) *Traversal { return core.Traverse(src...) }
+
 // IsRetryable reports whether err is a transient transaction abort
-// (conflict or lock timeout) worth retrying.
+// (conflict or lock timeout) worth retrying. Context cancellation and
+// deadline errors are not retryable.
 func IsRetryable(err error) bool { return core.IsRetryable(err) }
 
 // Update runs fn in a write transaction, retrying on transient aborts up to
 // maxRetries times. fn must be idempotent. If fn returns an error the
 // transaction is aborted and the error returned.
 func Update(g *Graph, maxRetries int, fn func(tx *Tx) error) error {
+	return UpdateCtx(context.Background(), g, maxRetries, fn)
+}
+
+// UpdateCtx is Update bound to ctx: the transaction's slot, lock and
+// group-commit waits all respect the context's deadline, and retries stop
+// once the context is done. fn must be idempotent.
+func UpdateCtx(ctx context.Context, g *Graph, maxRetries int, fn func(tx *Tx) error) error {
 	var err error
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		var tx *Tx
-		tx, err = g.Begin()
+		tx, err = g.BeginCtx(ctx)
 		if err != nil {
 			return err
 		}
 		if err = fn(tx); err != nil {
 			tx.Abort()
 			if IsRetryable(err) {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
 				continue
 			}
 			return err
 		}
-		if err = tx.Commit(); err == nil {
+		if err = tx.CommitCtx(ctx); err == nil {
 			return nil
 		}
 		if !IsRetryable(err) {
@@ -145,7 +226,14 @@ func Update(g *Graph, maxRetries int, fn func(tx *Tx) error) error {
 
 // View runs fn in a read-only snapshot transaction.
 func View(g *Graph, fn func(tx *Tx) error) error {
-	tx, err := g.BeginRead()
+	return ViewCtx(context.Background(), g, fn)
+}
+
+// ViewCtx is View bound to ctx, which bounds the wait for a worker slot.
+// Read-only transactions never block after that, so fn should capture ctx
+// itself for cancellable work inside the view (e.g. Traversal.Run).
+func ViewCtx(ctx context.Context, g *Graph, fn func(tx *Tx) error) error {
+	tx, err := g.BeginReadCtx(ctx)
 	if err != nil {
 		return err
 	}

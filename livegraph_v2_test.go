@@ -1,0 +1,144 @@
+package livegraph_test
+
+// Public-surface tests for the v2 API: the exported Reader interface,
+// context-aware transaction helpers, and the traversal builder as library
+// consumers use them.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"livegraph"
+)
+
+// countFoF is written once against Reader and reused for both
+// implementations — the point of the unified surface.
+func countFoF(r livegraph.Reader, src livegraph.VertexID, label livegraph.Label) int {
+	n := 0
+	it := r.Neighbors(src, label)
+	for it.Next() {
+		n += r.Degree(it.Dst(), label)
+	}
+	return n
+}
+
+func TestPublicReaderSurface(t *testing.T) {
+	g, err := livegraph.Open(livegraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var a, b, c livegraph.VertexID
+	err = livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		a, _ = tx.AddVertex([]byte("a"))
+		b, _ = tx.AddVertex([]byte("b"))
+		c, _ = tx.AddVertex([]byte("c"))
+		tx.InsertEdge(a, 0, b, nil)
+		return tx.InsertEdge(b, 0, c, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := g.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTx := countFoF(tx, a, 0)
+	tx.Commit()
+
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSnap := countFoF(snap, a, 0)
+	snap.Release()
+
+	if fromTx != 1 || fromSnap != 1 {
+		t.Fatalf("friends-of-friends: tx=%d snapshot=%d, want 1/1", fromTx, fromSnap)
+	}
+}
+
+func TestPublicTraversalAndCtxHelpers(t *testing.T) {
+	g, err := livegraph.Open(livegraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+
+	var a, b, c livegraph.VertexID
+	err = livegraph.UpdateCtx(ctx, g, 3, func(tx *livegraph.Tx) error {
+		a, _ = tx.AddVertex([]byte("a"))
+		b, _ = tx.AddVertex([]byte("b"))
+		c, _ = tx.AddVertex([]byte("c"))
+		tx.InsertEdge(a, 0, b, nil)
+		return tx.InsertEdge(b, 0, c, nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = livegraph.ViewCtx(ctx, g, func(tx *livegraph.Tx) error {
+		got, err := livegraph.Traverse(a).Out(0).Out(0).Run(ctx, tx)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0] != c {
+			t.Fatalf("two-hop = %v, want [%d]", got, c)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A cancelled context refuses new work through the public helpers.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := livegraph.UpdateCtx(cctx, g, 3, func(*livegraph.Tx) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("UpdateCtx(cancelled) err = %v", err)
+	}
+	if err := livegraph.ViewCtx(cctx, g, func(*livegraph.Tx) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ViewCtx(cancelled) err = %v", err)
+	}
+}
+
+func TestPublicUpdateCtxDeadlineOnLockWait(t *testing.T) {
+	g, err := livegraph.Open(livegraph.Options{LockTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var v livegraph.VertexID
+	if err := livegraph.Update(g, 3, func(tx *livegraph.Tx) error {
+		v, err = tx.AddVertex(nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	holder, err := g.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.PutVertex(v, []byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Abort()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = livegraph.UpdateCtx(ctx, g, 10, func(tx *livegraph.Tx) error {
+		return tx.PutVertex(v, []byte("blocked"))
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("UpdateCtx err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("UpdateCtx blocked %v past its deadline", elapsed)
+	}
+}
