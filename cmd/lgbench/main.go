@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,9 @@ func main() {
 		prIters    = flag.Int("pr-iters", 20, "PageRank iterations")
 		workers    = flag.Int("workers", 8, "analytics worker threads")
 		walShards  = flag.Int("wal-shards", 1, "WAL shards for durable experiments (parallel group-commit fan-out)")
+		travScale  = flag.Int("trav-scale", 15, "traversal experiment graph scale (2^scale vertices, avg degree 4)")
+		travOps    = flag.Int("trav-ops", 20, "traversal experiment runs per configuration")
+		jsonPath   = flag.String("json", "", "write machine-readable results (ns/op, edges/s, allocs/op per experiment) to this file")
 	)
 	flag.Parse()
 
@@ -65,6 +69,14 @@ func main() {
 	cfg.PRIters = *prIters
 	cfg.Workers = *workers
 	cfg.WALShards = *walShards
+	cfg.TravScale = *travScale
+	cfg.TravOps = *travOps
+
+	// Non-nil so an experiment recording nothing still writes [], not null.
+	results := []bench.Metric{}
+	if *jsonPath != "" {
+		cfg.Record = func(m bench.Metric) { results = append(results, m) }
+	}
 
 	run := func(e bench.Experiment) {
 		t0 := time.Now()
@@ -76,12 +88,26 @@ func main() {
 		for _, e := range bench.Experiments() {
 			run(e)
 		}
-		return
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lgbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
 	}
-	e, ok := bench.ByID(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lgbench: unknown experiment %q (use -list)\n", *exp)
-		os.Exit(2)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lgbench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lgbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[results written to %s]\n", *jsonPath)
 	}
-	run(e)
 }

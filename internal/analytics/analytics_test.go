@@ -2,11 +2,14 @@ package analytics
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"livegraph/internal/baseline/csr"
 	"livegraph/internal/core"
 )
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // chain: 0 -> 1 -> 2 -> 3; star: 4 <- {5,6}; isolated: 7
 func testGraph() *csr.Graph {
@@ -98,6 +101,66 @@ func TestConnComp(t *testing.T) {
 		}
 		if n := NumComponents(labels, nil); n != 3 {
 			t.Fatalf("components=%d", n)
+		}
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	g := testGraph()
+	for _, workers := range []int{1, 4} {
+		dist := BFS(CSRView{g}, 0, workers)
+		want := []int64{0, 1, 2, 3, -1, -1, -1, -1}
+		for i, d := range dist {
+			if d != want[i] {
+				t.Fatalf("workers=%d dist=%v, want %v", workers, dist, want)
+			}
+		}
+		// From 5: only 5 and 4 reachable.
+		dist = BFS(CSRView{g}, 5, workers)
+		if dist[5] != 0 || dist[4] != 1 || dist[0] != -1 {
+			t.Fatalf("workers=%d dist from 5 = %v", workers, dist)
+		}
+	}
+	// Out-of-range source: all unreachable.
+	dist := BFS(CSRView{g}, 99, 2)
+	for i, d := range dist {
+		if d != -1 {
+			t.Fatalf("dist[%d]=%d for out-of-range source", i, d)
+		}
+	}
+}
+
+// TestBFSParallelMatchesSequential cross-checks the morsel-parallel BFS
+// against workers=1 on a random graph where vertices are reachable along
+// many paths (run under -race this exercises the visited-set claims).
+func TestBFSParallelMatchesSequential(t *testing.T) {
+	const n = 3000
+	edges := make([]csr.Edge, 0, 6*n)
+	rng := newRand(17)
+	for i := 0; i < 6*n; i++ {
+		edges = append(edges, csr.Edge{Src: rng.Int63n(n), Dst: rng.Int63n(n)})
+	}
+	g := csr.Build(n, edges)
+	want := BFS(CSRView{g}, 0, 1)
+	for _, workers := range []int{4, 8} {
+		got := BFS(CSRView{g}, 0, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: dist[%d]=%d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := testGraph()
+	for _, workers := range []int{1, 4} {
+		deg := Degrees(CSRView{g}, workers)
+		want := []int64{1, 1, 1, 0, 0, 1, 1, 0}
+		for i, d := range deg {
+			if d != want[i] {
+				t.Fatalf("workers=%d degrees=%v, want %v", workers, deg, want)
+			}
 		}
 	}
 }

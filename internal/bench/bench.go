@@ -43,6 +43,34 @@ type Config struct {
 	// WALShards configures the sharded commit pipeline for the durable
 	// experiments (1 = the paper's single sequential log).
 	WALShards int
+
+	// Parallel-traversal experiment (the morsel-driven engine).
+	TravScale int // kron graph scale: 2^TravScale vertices, avg degree 4
+	TravOps   int // traversal runs per measured configuration
+
+	// Record, when non-nil, receives every machine-readable measurement an
+	// experiment emits alongside its printed rows; lgbench's -json flag
+	// wires this to a results file (BENCH_*.json).
+	Record func(Metric)
+}
+
+// Metric is one machine-readable measurement: an experiment/configuration
+// name plus the standard rates (ns/op, edges/s, allocs/op) and free-form
+// extras. Zero-valued standard fields are omitted from the JSON.
+type Metric struct {
+	Experiment  string             `json:"experiment"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	EdgesPerSec float64            `json:"edges_per_sec,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// record forwards a metric to the configured sink, if any.
+func (cfg Config) record(m Metric) {
+	if cfg.Record != nil {
+		cfg.Record(m)
+	}
 }
 
 // Default returns the laptop-scale configuration.
@@ -55,6 +83,7 @@ func Default(out io.Writer) Config {
 		SNBPersons: 400, SNBClients: 8, SNBRequests: 40,
 		PRIters: 20, Workers: 8,
 		WALShards: 1,
+		TravScale: 15, TravOps: 20,
 	}
 }
 
@@ -84,6 +113,7 @@ func Experiments() []Experiment {
 		{"tab8", "Table 8: SNB interactive throughput out of core", func(c Config) { SNBThroughput(c, true) }},
 		{"tab9", "Table 9: SNB per-query latency", SNBQueryLatency},
 		{"tab10", "Table 10: ETL + PageRank/ConnComp, in-situ vs CSR engine", Tab10},
+		{"trav", "Morsel-driven parallel traversal: two-hop throughput vs worker-pool width", TraverseSweep},
 	}
 }
 

@@ -73,6 +73,14 @@ type Options struct {
 	// file handles).
 	WALShards int
 
+	// TraversalParallelism is the default worker-pool width for the
+	// morsel-driven traversal engine: how many workers a parallel-capable
+	// Reader (a snapshot) fans frontier expansion out over when the
+	// traversal itself does not set Parallel. Zero means GOMAXPROCS at run
+	// time; 1 disables parallel expansion engine-wide. Analytics kernels
+	// take their worker count explicitly and are not affected.
+	TraversalParallelism int
+
 	// HistoryRetention keeps invalidated versions readable for this many
 	// epochs behind the current read epoch, enabling temporal queries via
 	// SnapshotAt (the paper's §9 future-work direction: "the

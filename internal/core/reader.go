@@ -43,15 +43,59 @@ var (
 	_ Reader = (*Snapshot)(nil)
 )
 
-// newEdgeIter builds the shared adjacency iterator both Reader
-// implementations hand out: a scan of t bounded at n entries with the
+// ParallelReader marks a Reader whose methods are safe for concurrent use
+// by multiple goroutines. The morsel-driven traversal engine only fans a
+// hop out over Readers carrying this marker; anything else — a *Tx in
+// particular, whose write buffers are single-goroutine state — executes
+// sequentially no matter what parallelism was requested.
+type ParallelReader interface {
+	Reader
+	// ConcurrentSafe is a marker method: implementations promise that all
+	// Reader methods may be called from multiple goroutines concurrently.
+	ConcurrentSafe()
+}
+
+// Pinned snapshots are the engine's concurrency-safe Reader.
+var _ ParallelReader = (*Snapshot)(nil)
+
+// graphSource lets the traversal engine reach the owning graph's options
+// (default parallelism) from a Reader without widening the public surface.
+type graphSource interface{ graph() *Graph }
+
+var (
+	_ graphSource = (*Tx)(nil)
+	_ graphSource = (*Snapshot)(nil)
+)
+
+// edgeIterSource is the allocation-free adjacency-scan path: a Reader that
+// can position a caller-owned EdgeIter in place instead of heap-allocating
+// a fresh one per call. Traversal workers keep one EdgeIter each and reset
+// it per frontier vertex, cutting the hot Neighbors path to zero
+// allocations; foreign Reader implementations fall back to Neighbors.
+type edgeIterSource interface {
+	neighborsInto(it *EdgeIter, src VertexID, label Label)
+}
+
+var (
+	_ edgeIterSource = (*Tx)(nil)
+	_ edgeIterSource = (*Snapshot)(nil)
+)
+
+// resetEdgeIter (re)binds it to a scan of t bounded at n entries with the
 // caller's visibility parameters, charging the page cache when the graph
 // simulates out-of-core execution.
-func newEdgeIter(g *Graph, t *tel.TEL, n int, tre, tid int64) *EdgeIter {
-	it := &EdgeIter{t: t, it: t.Scan(n, tre, tid), lastPage: -1}
+func resetEdgeIter(it *EdgeIter, g *Graph, t *tel.TEL, n int, tre, tid int64) {
+	*it = EdgeIter{t: t, it: t.Scan(n, tre, tid), lastPage: -1}
 	if g.opts.PageCache != nil {
 		it.g = g
 	}
+}
+
+// newEdgeIter builds the shared adjacency iterator both Reader
+// implementations hand out.
+func newEdgeIter(g *Graph, t *tel.TEL, n int, tre, tid int64) *EdgeIter {
+	it := new(EdgeIter)
+	resetEdgeIter(it, g, t, n, tre, tid)
 	return it
 }
 

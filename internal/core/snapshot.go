@@ -140,6 +140,26 @@ func (s *Snapshot) Neighbors(src VertexID, label Label) *EdgeIter {
 	return newEdgeIter(s.g, t, t.Len(), s.tre, 0)
 }
 
+// neighborsInto rebinds a caller-owned iterator to (src,label) without
+// allocating (edgeIterSource).
+func (s *Snapshot) neighborsInto(it *EdgeIter, src VertexID, label Label) {
+	t := s.g.telFor(src, label)
+	if t == nil {
+		*it = EdgeIter{done: true}
+		return
+	}
+	s.g.touch(t)
+	resetEdgeIter(it, s.g, t, t.Len(), s.tre, 0)
+}
+
+// ConcurrentSafe marks snapshots as safe for concurrent readers
+// (ParallelReader): every accessor resolves versions through atomics at
+// the pinned epoch.
+func (s *Snapshot) ConcurrentSafe() {}
+
+// graph exposes the owning graph to the traversal engine (graphSource).
+func (s *Snapshot) graph() *Graph { return s.g }
+
 // ScanNeighbors sequentially scans the (v,label) adjacency list, invoking
 // fn for every visible edge (newest first). fn returning false stops the
 // scan. Property slices alias block memory and are only valid during the

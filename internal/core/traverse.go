@@ -9,10 +9,20 @@ package core
 // preserved hop by hop. Because execution takes any Reader, one traversal
 // runs unchanged inside a transaction (*Tx, seeing its own writes), on a
 // pinned analytics snapshot (*Snapshot), or against a past epoch via AsOf.
+//
+// Hops execute on the morsel-driven parallel engine (parallel.go) when the
+// Reader is safe for concurrent use and the frontier is wide enough to pay
+// for worker dispatch; each worker still performs purely sequential TEL
+// scans — parallelism comes from expanding disjoint frontier morsels
+// concurrently, never from reordering accesses within one adjacency list.
 
 import (
 	"context"
 	"errors"
+	"runtime"
+
+	"livegraph/internal/morsel"
+	"livegraph/internal/sparsebit"
 )
 
 // ErrAsOfMismatch is returned by Traversal.Run when AsOf was set but the
@@ -54,6 +64,8 @@ type Traversal struct {
 	steps       []travStep
 	limit       int
 	maxFrontier int
+	parallel    int
+	morselN     int
 	asOf        int64
 	hasAsOf     bool
 	dedup       bool
@@ -102,6 +114,38 @@ func (t *Traversal) MaxFrontier(n int) *Traversal {
 	return t
 }
 
+// Parallel sets the worker-pool width for frontier expansion. 1 forces
+// sequential execution; 0 (the default) defers to the graph's
+// Options.TraversalParallelism, which itself defaults to GOMAXPROCS.
+//
+// Parallel hops require a Reader that is safe for concurrent use (one
+// implementing ParallelReader, like *Snapshot); on any other Reader — a
+// *Tx in particular — execution stays sequential regardless of this
+// setting. Narrow frontiers (at most one morsel wide) also run
+// sequentially: dispatching workers for a handful of vertices costs more
+// than the scans themselves.
+//
+// Without Dedup or Limit, a parallel run returns exactly the sequential
+// result in the same order (morsel outputs are reassembled in frontier
+// order). With Dedup the result is the same *set* but first-claimant
+// ordering may differ; with Limit the result is some size-limit subset of
+// the sequential result rather than its prefix.
+func (t *Traversal) Parallel(n int) *Traversal {
+	t.parallel = n
+	return t
+}
+
+// MorselSize overrides the number of frontier vertices per work morsel.
+// Zero (the default) sizes morsels adaptively: morsel.DefaultSize at
+// most, shrunk until the frontier splits into about four morsels per
+// worker, so pools stay busy even when one vertex's expansion is slow.
+// Smaller morsels balance skewed frontiers at the cost of more claim
+// traffic; mostly a tuning and testing knob.
+func (t *Traversal) MorselSize(n int) *Traversal {
+	t.morselN = n
+	return t
+}
+
 // AsOf runs the traversal against the graph as of a past epoch — temporal
 // time travel over the TELs' own version history. Execute with RunGraph
 // (which pins a snapshot at the epoch, subject to Options.HistoryRetention
@@ -141,9 +185,88 @@ func (t *Traversal) RunGraph(ctx context.Context, g *Graph) ([]VertexID, error) 
 	return t.run(ctx, s)
 }
 
+// effectiveParallelism resolves the worker-pool width for this run:
+// the builder's Parallel setting, falling back to the graph's
+// Options.TraversalParallelism, falling back to GOMAXPROCS — and clamped
+// to 1 whenever the Reader is not marked safe for concurrent use.
+func (t *Traversal) effectiveParallelism(r Reader) int {
+	if _, ok := r.(ParallelReader); !ok {
+		return 1
+	}
+	p := t.parallel
+	if p == 0 {
+		if gs, ok := r.(graphSource); ok {
+			p = gs.graph().opts.TraversalParallelism
+		}
+	}
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// hopMorselSize picks the morsel width for one hop: the explicit
+// MorselSize when set, otherwise DefaultSize shrunk until the frontier
+// splits into about four morsels per worker, floored at minMorsel.
+// Oversplitting costs one atomic claim per extra morsel — noise — while
+// undersplitting idles workers whenever per-vertex cost balloons (a hub's
+// long TEL, an out-of-core page fault), so the adaptive default errs
+// toward fine.
+func (t *Traversal) hopMorselSize(frontierLen, par, minMorsel int) int {
+	if t.morselN > 0 {
+		return t.morselN
+	}
+	size := morsel.DefaultSize
+	if target := frontierLen / (4 * par); target < size {
+		size = target
+		if size < minMorsel {
+			size = minMorsel
+		}
+	}
+	return size
+}
+
+// engageParallel reports whether a hop over frontierLen vertices should
+// dispatch to the worker pool: frontiers below engageMin run sequentially
+// — dispatching goroutines for a handful of scans costs more than the
+// scans themselves.
+func (t *Traversal) engageParallel(frontierLen, par, engageMin int) bool {
+	if par <= 1 {
+		return false
+	}
+	if t.morselN > 0 {
+		return frontierLen > t.morselN
+	}
+	return frontierLen >= engageMin
+}
+
+// parallelThresholds returns (engageMin, minMorsel) for runs over r. In
+// memory, expanding one vertex costs sub-microsecond scans, so only
+// DefaultSize-wide frontiers repay worker dispatch and morsels stay
+// coarse. Under the out-of-core simulation a single expansion can stall
+// milliseconds on page faults — overlapping those waits is the whole
+// point — so even an 8-vertex frontier fans out, one vertex per morsel.
+func parallelThresholds(r Reader) (engageMin, minMorsel int) {
+	if gs, ok := r.(graphSource); ok && gs.graph().opts.PageCache != nil {
+		return 8, 1
+	}
+	return morsel.DefaultSize, 8
+}
+
 func (t *Traversal) run(ctx context.Context, r Reader) ([]VertexID, error) {
 	frontier := append([]VertexID(nil), t.src...)
 	lastStep := len(t.steps) - 1
+	par := t.effectiveParallelism(r)
+	// One seen set and one scan iterator serve the whole run: the set's
+	// pages and the iterator are reused hop after hop, so a multi-hop
+	// traversal stops allocating once it has touched its working set.
+	var seen *sparsebit.Set
+	if t.dedup {
+		seen = sparsebit.New(4 * par)
+	}
+	engageMin, minMorsel := parallelThresholds(r)
+	its, hasInto := r.(edgeIterSource)
+	var it EdgeIter
 	for si, st := range t.steps {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -158,28 +281,38 @@ func (t *Traversal) run(ctx context.Context, r Reader) ([]VertexID, error) {
 			}
 			frontier = kept
 		case stepOut:
-			var seen map[VertexID]struct{}
-			if t.dedup {
-				seen = make(map[VertexID]struct{}, len(frontier))
-			}
 			// Short-circuit the scans only when this hop produces the
 			// final result set; earlier hops must stay complete because a
 			// later filter may drop vertices.
 			capped := t.limit > 0 && si == lastStep
+			if t.dedup {
+				seen.Reset() // dedup is per hop
+			}
+			if t.engageParallel(len(frontier), par, engageMin) {
+				next, err := t.expandParallel(ctx, r, frontier, st.label, capped, par, seen,
+					t.hopMorselSize(len(frontier), par, minMorsel))
+				if err != nil {
+					return nil, err
+				}
+				frontier = next
+				continue
+			}
 			next := make([]VertexID, 0, len(frontier))
 		hop:
 			for _, v := range frontier {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
-				it := r.Neighbors(v, st.label)
-				for it.Next() {
-					d := it.Dst()
-					if t.dedup {
-						if _, dup := seen[d]; dup {
-							continue
-						}
-						seen[d] = struct{}{}
+				itp := &it
+				if hasInto {
+					its.neighborsInto(itp, v, st.label)
+				} else {
+					itp = r.Neighbors(v, st.label)
+				}
+				for itp.Next() {
+					d := itp.Dst()
+					if t.dedup && seen.TestAndSet(int64(d)) {
+						continue
 					}
 					next = append(next, d)
 					if t.maxFrontier > 0 && len(next) > t.maxFrontier {

@@ -463,6 +463,25 @@ func (tx *Tx) Neighbors(src VertexID, label Label) *EdgeIter {
 	return newEdgeIter(tx.g, t, n, tx.tre, tx.tid)
 }
 
+// neighborsInto rebinds a caller-owned iterator to (src,label) without
+// allocating (edgeIterSource). Like every Tx method it must only be called
+// from the transaction's own goroutine.
+func (tx *Tx) neighborsInto(it *EdgeIter, src VertexID, label Label) {
+	if tx.done {
+		*it = EdgeIter{done: true}
+		return
+	}
+	t, n := tx.readView(src, label)
+	if t == nil {
+		*it = EdgeIter{done: true}
+		return
+	}
+	resetEdgeIter(it, tx.g, t, n, tx.tre, tx.tid)
+}
+
+// graph exposes the owning graph to the traversal engine (graphSource).
+func (tx *Tx) graph() *Graph { return tx.g }
+
 // Next advances the iterator. It returns false when the scan is complete.
 func (e *EdgeIter) Next() bool {
 	if e.done {

@@ -1,0 +1,65 @@
+// Package morsel is the shared work-distribution core of the parallel
+// execution engine: it splits an index space into fixed-size morsels that
+// workers claim dynamically from an atomic cursor, in the style of
+// morsel-driven parallelism (Leis et al., SIGMOD 2014).
+//
+// Dynamic claiming is what distinguishes the engine from a static range
+// split: on power-law graphs one morsel can hide a hub vertex with a
+// thousand-entry adjacency list, and under out-of-core simulation a morsel
+// can stall on page faults. With static partitioning the unlucky worker
+// finishes last while the rest idle; with a cursor, finished workers
+// immediately claim the next morsel, so the schedule load-balances itself.
+// Both the traversal engine (internal/core) and the analytics kernels
+// (internal/analytics) dispatch through this package.
+package morsel
+
+import "sync/atomic"
+
+// DefaultSize is the default morsel width in items. Small enough that a
+// skewed frontier still splits into enough morsels to balance, large
+// enough that the claim (one atomic add) is noise against the work.
+const DefaultSize = 64
+
+// Cursor deals morsels of [0,n) to concurrent claimants.
+type Cursor struct {
+	n, size int64
+	next    atomic.Int64
+}
+
+// NewCursor returns a cursor over n items in morsels of the given size
+// (DefaultSize if size <= 0).
+func NewCursor(n, size int) *Cursor {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &Cursor{n: int64(n), size: int64(size)}
+}
+
+// Count returns how many morsels the cursor deals in total.
+func (c *Cursor) Count() int {
+	return int((c.n + c.size - 1) / c.size)
+}
+
+// Next claims the next unclaimed morsel, returning its index and item
+// range [lo, hi); ok is false when the space is exhausted.
+func (c *Cursor) Next() (m, lo, hi int, ok bool) {
+	i := c.next.Add(1) - 1
+	l := i * c.size
+	if l >= c.n {
+		return 0, 0, 0, false
+	}
+	h := l + c.size
+	if h > c.n {
+		h = c.n
+	}
+	return int(i), int(l), int(h), true
+}
+
+// Workers clamps a requested worker-pool width to the number of morsels a
+// cursor deals — spawning more workers than morsels only burns goroutines.
+func (c *Cursor) Workers(requested int) int {
+	if m := c.Count(); requested > m {
+		return m
+	}
+	return requested
+}

@@ -1,0 +1,80 @@
+package morsel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCursorCoversExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, size int }{
+		{0, 64}, {1, 64}, {63, 64}, {64, 64}, {65, 64}, {1000, 64}, {1000, 1}, {7, 3},
+	} {
+		c := NewCursor(tc.n, tc.size)
+		covered := make([]bool, tc.n)
+		morsels := 0
+		for {
+			m, lo, hi, ok := c.Next()
+			if !ok {
+				break
+			}
+			morsels++
+			if hi <= lo || hi > tc.n {
+				t.Fatalf("n=%d size=%d: bad range [%d,%d)", tc.n, tc.size, lo, hi)
+			}
+			_ = m
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("n=%d size=%d: item %d dealt twice", tc.n, tc.size, i)
+				}
+				covered[i] = true
+			}
+		}
+		if morsels != c.Count() {
+			t.Fatalf("n=%d size=%d: dealt %d morsels, Count()=%d", tc.n, tc.size, morsels, c.Count())
+		}
+		for i, ok := range covered {
+			if !ok {
+				t.Fatalf("n=%d size=%d: item %d never dealt", tc.n, tc.size, i)
+			}
+		}
+	}
+}
+
+func TestCursorConcurrent(t *testing.T) {
+	const n = 100_000
+	c := NewCursor(n, 17)
+	var total, claims [8]int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				_, lo, hi, ok := c.Next()
+				if !ok {
+					return
+				}
+				total[w] += int64(hi - lo)
+				claims[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum int64
+	for _, s := range total {
+		sum += s
+	}
+	if sum != n {
+		t.Fatalf("workers covered %d items, want %d", sum, n)
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	c := NewCursor(100, 64) // 2 morsels
+	if got := c.Workers(8); got != 2 {
+		t.Fatalf("Workers(8) over 2 morsels = %d", got)
+	}
+	if got := c.Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+}

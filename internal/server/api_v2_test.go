@@ -103,6 +103,67 @@ func TestTraverseEndpointHistoryGone(t *testing.T) {
 	}
 }
 
+// TestTraverseEndpointParallel: the ?parallel= knob reaches the engine —
+// a wide two-hop fan returns the same answer at parallel=1 and parallel=8
+// — and junk values are rejected.
+func TestTraverseEndpointParallel(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	root, err := c.AddVertex(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// root -> 200 mids, each mid -> 2 leaves: the second hop's frontier is
+	// wide enough to engage the worker pool at the default morsel size.
+	var ops []Op
+	for i := 0; i < 200; i++ {
+		ops = append(ops, Op{Op: "addVertex"})
+	}
+	mids, err := c.Tx(ops...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops = ops[:0]
+	for _, m := range mids {
+		ops = append(ops, Op{Op: "insertEdge", Src: root, Label: 0, Dst: m},
+			Op{Op: "insertEdge", Src: m, Label: 0, Dst: root},
+			Op{Op: "insertEdge", Src: m, Label: 0, Dst: mids[0]})
+	}
+	if _, err := c.Tx(ops...); err != nil {
+		t.Fatal(err)
+	}
+
+	seq, _, err := c.Traverse(root, []int64{0, 0}, &TraverseOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := c.Traverse(root, []int64{0, 0}, &TraverseOptions{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 400 || len(par) != len(seq) {
+		t.Fatalf("parallel fan = %d results, sequential %d (want 400)", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("parallel result diverges at %d: %d != %d", i, par[i], seq[i])
+		}
+	}
+
+	for _, url := range []string{
+		"/v1/traverse/0?out=0&parallel=-1",
+		"/v1/traverse/0?out=0&parallel=x",
+	} {
+		resp, err := http.Get(c.Base + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, resp.StatusCode)
+		}
+	}
+}
+
 func TestTraverseEndpointValidation(t *testing.T) {
 	c, _ := startServer(t, core.Options{})
 	seedChain(t, c)

@@ -136,12 +136,16 @@ func (c *Client) Degree(src, label int64) (int, error) {
 }
 
 // TraverseOptions tune a client-side traversal; the zero value (or nil)
-// means no limit, no dedup, latest epoch.
+// means no limit, no dedup, latest epoch, server-default parallelism.
 type TraverseOptions struct {
 	Limit   int   // cap results (0 = all)
 	Dedup   bool  // emit each destination at most once per hop
 	AsOf    int64 // past epoch to observe when AsOfSet (0 is a valid epoch)
 	AsOfSet bool  // send the asof parameter
+	// Parallel requests a worker-pool width for the server's morsel-driven
+	// frontier engine (clamped by the server's MaxTraverseParallel; 1
+	// forces a sequential walk, 0 defers to the server default).
+	Parallel int
 }
 
 // Traverse runs a multi-hop traversal on the server: one hop per label in
@@ -160,6 +164,9 @@ func (c *Client) Traverse(src int64, out []int64, opt *TraverseOptions) ([]int64
 		}
 		if opt.AsOfSet {
 			q.Set("asof", strconv.FormatInt(opt.AsOf, 10))
+		}
+		if opt.Parallel > 0 {
+			q.Set("parallel", strconv.Itoa(opt.Parallel))
 		}
 	}
 	var resp TraverseResponse

@@ -25,8 +25,11 @@
 //
 // The traversal endpoint compiles its query into the engine's composable
 // traversal builder: each repeated out=LABEL parameter is one hop, and
-// limit=N, dedup=1 and asof=EPOCH map to the builder's Limit, Dedup and
-// AsOf. asof epochs outside the retention window return 410 Gone.
+// limit=N, dedup=1, asof=EPOCH and parallel=N map to the builder's Limit,
+// Dedup, AsOf and Parallel. asof epochs outside the retention window
+// return 410 Gone. parallel requests a worker-pool width for the
+// morsel-driven frontier engine, clamped to MaxTraverseParallel; absent or
+// 0 defers to the engine default (Options.TraversalParallelism).
 //
 // Every handler threads the request context through the engine — begin,
 // vertex-lock and group-commit waits all end when the client disconnects
@@ -59,12 +62,16 @@ type Server struct {
 	// query cannot expand degree^hops vertex IDs and exhaust the server.
 	MaxTraverseHops     int
 	MaxTraverseFrontier int
+	// MaxTraverseParallel caps the ?parallel= worker-pool width a client
+	// may request for one traversal, so a single query cannot claim an
+	// unbounded number of goroutines.
+	MaxTraverseParallel int
 	mux                 *http.ServeMux
 }
 
 // New builds a server for g.
 func New(g *core.Graph) *Server {
-	s := &Server{G: g, MaxRetries: 16, MaxTraverseHops: 8, MaxTraverseFrontier: 1 << 20}
+	s := &Server{G: g, MaxRetries: 16, MaxTraverseHops: 8, MaxTraverseFrontier: 1 << 20, MaxTraverseParallel: 16}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tx", s.handleTx)
 	mux.HandleFunc("GET /v1/vertex/", s.handleVertex)
@@ -375,6 +382,17 @@ func (s *Server) handleTraverse(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpErr(w, http.StatusBadRequest, "dedup=%q: want 1/true/0/false", q.Get("dedup"))
 		return
+	}
+	parallel, err := queryInt(r, "parallel", 0)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if max := int64(s.MaxTraverseParallel); max > 0 && parallel > max {
+		parallel = max
+	}
+	if parallel > 0 {
+		t.Parallel(int(parallel))
 	}
 	asOf, err := queryInt(r, "asof", -1)
 	if err != nil {

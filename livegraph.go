@@ -71,7 +71,29 @@
 //
 // AsOf requires the epoch to be within Options.HistoryRetention; older
 // epochs return ErrHistoryGone. The server exposes the same builder as
-// GET /v1/traverse.
+// GET /v1/traverse (including the parallel knob, as ?parallel=N).
+//
+// # The morsel-driven parallel execution engine
+//
+// Wide hops execute on a worker pool: the frontier is partitioned into
+// fixed-size morsels that workers claim from an atomic cursor, each worker
+// expanding into a private buffer through its own reused edge iterator,
+// with a lock-striped sparse bitset arbitrating Dedup and atomic budgets
+// enforcing Limit and MaxFrontier so early termination stops every worker.
+// Each worker's scans remain purely sequential TEL streams — parallelism
+// comes from expanding disjoint frontier morsels concurrently.
+//
+// The pool width comes from Traversal.Parallel, falling back to
+// Options.TraversalParallelism, falling back to GOMAXPROCS. Parallel
+// execution engages only on Readers that are safe for concurrent use
+// (ParallelReader — a *Snapshot; a *Tx always runs sequentially) and only
+// when the frontier is wide enough to repay dispatch; narrow frontiers and
+// in-memory graphs on few cores are often fastest sequential, which is why
+// the engine falls back automatically rather than forcing a pool. Under
+// the out-of-core simulation workers overlap page-fault latency, so
+// parallel traversals win there even on a single core. The analytics
+// kernels (internal/analytics: PageRank, ConnComp, BFS, Degrees) dispatch
+// vertex ranges and BFS frontiers through the same morsel engine.
 //
 // # Architecture: the sharded commit pipeline
 //
@@ -139,6 +161,11 @@ type Snapshot = core.Snapshot
 // *Snapshot: GetVertex, GetEdge, Neighbors, Degree and ReadEpoch over one
 // consistent epoch. Code that only reads the graph should accept a Reader.
 type Reader = core.Reader
+
+// ParallelReader marks a Reader that is safe for concurrent use by
+// multiple goroutines; the traversal engine only fans hops out over
+// ParallelReaders (*Snapshot qualifies, *Tx does not).
+type ParallelReader = core.ParallelReader
 
 // Traversal is a composable multi-hop traversal specification; build one
 // with Traverse and execute it against any Reader or a Graph.
