@@ -114,6 +114,7 @@ func Experiments() []Experiment {
 		{"tab9", "Table 9: SNB per-query latency", SNBQueryLatency},
 		{"tab10", "Table 10: ETL + PageRank/ConnComp, in-situ vs CSR engine", Tab10},
 		{"trav", "Morsel-driven parallel traversal: two-hop throughput vs worker-pool width", TraverseSweep},
+		{"repl", "WAL-shipping replication: follower apply throughput and staleness lag", Replication},
 	}
 }
 

@@ -22,8 +22,8 @@ func tiny(out io.Writer) Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("%d experiments registered, want 17 (one per table/figure plus trav)", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("%d experiments registered, want 18 (one per table/figure plus trav and repl)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"livegraph/internal/wal"
 )
@@ -39,7 +38,7 @@ func (g *Graph) Checkpoint() error {
 	// (GWE would be the wrong target: a group whose persist failed
 	// advances GWE but is never published.)
 	g.commit.mu.Lock()
-	g.epochs.WaitRead(g.log.DurableEpoch())
+	g.epochs.WaitRead(g.log.Load().DurableEpoch())
 	epoch := g.epochs.ReadEpoch()
 	oldSegs, err := g.rotateWALLocked()
 	if err != nil {
@@ -67,7 +66,7 @@ func (g *Graph) Checkpoint() error {
 	// marks the segment opened at rotation as the first live one: the
 	// prune below is best-effort (a crash mid-prune leaves partial
 	// groups), and recovery skips everything under the mark.
-	trunc := make([]int64, g.log.Shards())
+	trunc := make([]int64, g.log.Load().Shards())
 	for s := range trunc {
 		trunc[s] = epoch
 	}
@@ -96,7 +95,8 @@ func (g *Graph) pruneOldCheckpoints(keep string) {
 // the next one. Caller holds the committer mutex. Returns the paths of all
 // prior segments' shard files.
 func (g *Graph) rotateWALLocked() ([]string, error) {
-	if err := g.log.Close(); err != nil {
+	cur := g.log.Load()
+	if err := cur.Close(); err != nil {
 		return nil, err
 	}
 	old, err := filepath.Glob(filepath.Join(g.opts.Dir, "wal-*.log"))
@@ -110,7 +110,13 @@ func (g *Graph) rotateWALLocked() ([]string, error) {
 	}
 	// Quiescent point: GRE == GWE, everything up to it is durable.
 	l.SetDurableEpoch(g.epochs.ReadEpoch())
-	g.log = l
+	// Retire the closed segment's byte count and swap the pointer as one
+	// step, so WALAppendedBytes never sees the old segment twice or not
+	// at all.
+	g.walBytesMu.Lock()
+	g.walBytes += cur.AppendedBytes()
+	g.log.Store(l)
+	g.walBytesMu.Unlock()
 	return old, nil
 }
 
@@ -265,7 +271,7 @@ func (g *Graph) loadCheckpoint(path string, epoch int64) error {
 				if _, err := readFull(r, props); err != nil {
 					return err
 				}
-				g.replayEdge(h, opInsertEdge, VertexID(v), Label(label), VertexID(dst), props, epoch)
+				g.replayEdge(h, opInsertEdge, VertexID(v), Label(label), VertexID(dst), props, epoch, false)
 			}
 		}
 	}
@@ -283,62 +289,5 @@ func readFull(r *bufio.Reader, b []byte) (int, error) {
 	return n, nil
 }
 
-// walSegment is one sequence number's shard files in numeric shard order.
-type walSegment struct {
-	seq   int
-	paths []string
-}
-
-// walSegmentGroups lists this graph's WAL segments in replay order, each
-// with its shard files in numeric shard order (ReplaySharded matches
-// marker counts by position, so reader index must equal shard index). It
-// returns the highest sequence number seen. A wal-*.log file the current
-// format cannot parse is an error, not a skip: silently ignoring an
-// unrecognized log file would silently drop its committed transactions.
-//
-// Live segments must have the contiguous shard set 0..N-1 — a gap means a
-// shard file was lost, and replaying around it would silently skip its
-// epochs. Segments below the checkpoint's MinWALSeq are exempt (the
-// caller discards them): the checkpointer's prune is not atomic, so a
-// crash mid-prune legitimately leaves partial superseded groups behind.
-func walSegmentGroups(dir string, minLiveSeq int) ([]walSegment, int, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
-	if err != nil {
-		return nil, 0, err
-	}
-	type shardFile struct {
-		shard int
-		path  string
-	}
-	bySeq := map[int][]shardFile{}
-	var seqs []int
-	maxSeq := 0
-	for _, m := range matches {
-		seq, shard, ok := wal.ParseShardPath(m)
-		if !ok {
-			return nil, 0, fmt.Errorf("livegraph: unrecognized WAL file %s (incompatible log format?)", m)
-		}
-		if _, seen := bySeq[seq]; !seen {
-			seqs = append(seqs, seq)
-		}
-		bySeq[seq] = append(bySeq[seq], shardFile{shard, m})
-		if seq > maxSeq {
-			maxSeq = seq
-		}
-	}
-	sort.Ints(seqs)
-	groups := make([]walSegment, 0, len(seqs))
-	for _, seq := range seqs {
-		files := bySeq[seq]
-		sort.Slice(files, func(i, j int) bool { return files[i].shard < files[j].shard })
-		paths := make([]string, len(files))
-		for i, f := range files {
-			if f.shard != i && seq >= minLiveSeq {
-				return nil, 0, fmt.Errorf("livegraph: WAL segment %06d is missing shard %d (have %s)", seq, i, f.path)
-			}
-			paths[i] = f.path
-		}
-		groups = append(groups, walSegment{seq: seq, paths: paths})
-	}
-	return groups, maxSeq, nil
-}
+// WAL segment enumeration lives in the wal package (wal.Segments): the
+// replication tailer follows the same listing recovery replays.

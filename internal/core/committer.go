@@ -94,8 +94,8 @@ func (c *committer) commitGroup(batch []*Tx) {
 	// Persist phase: advance GWE, partition the group's records by WAL
 	// shard, write and fsync all participating shards concurrently.
 	twe := g.epochs.AdvanceWrite()
-	if g.log != nil {
-		recsByShard := make([][][]byte, g.log.Shards())
+	if log := g.log.Load(); log != nil {
+		recsByShard := make([][][]byte, log.Shards())
 		for _, tx := range batch {
 			for s, buf := range tx.walBufs {
 				if len(buf) > 0 {
@@ -103,7 +103,7 @@ func (c *committer) commitGroup(batch []*Tx) {
 				}
 			}
 		}
-		if err := g.log.AppendGroup(twe, recsByShard); err != nil {
+		if err := log.AppendGroup(twe, recsByShard); err != nil {
 			// Durability failed: the group must not become visible.
 			for _, tx := range batch {
 				tx.revert()
@@ -123,6 +123,7 @@ func (c *committer) commitGroup(batch []*Tx) {
 	// The whole group has applied: expose it to future transactions.
 	g.epochs.PublishRead(twe)
 	for _, tx := range batch {
+		tx.commitEpoch = twe
 		tx.commitRes <- nil
 	}
 }

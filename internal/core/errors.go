@@ -35,6 +35,12 @@ var (
 	// versions it needs.
 	ErrHistoryGone = errors.New("livegraph: epoch outside the retained history window")
 
+	// ErrFollower is returned by Begin/BeginCtx on a read replica: a
+	// follower's state is dictated by the replication stream (ApplyEpoch),
+	// so local write transactions are rejected. Route writes to the
+	// primary; reads (BeginRead, Snapshot) are unaffected.
+	ErrFollower = errors.New("livegraph: read replica, writes must go to the primary")
+
 	// ErrCommitOutcomeUnknown wraps the context error CommitCtx returns
 	// when the deadline fired after a group leader had already claimed the
 	// transaction: the commit may or may not become durable and visible.

@@ -179,8 +179,30 @@ type Graph struct {
 
 	slots  chan int // pool of worker slots (reader-table indices)
 	commit *committer
-	log    *wal.ShardedLog
+	// log is the current WAL segment. Atomic because checkpoint rotation
+	// swaps it while observability accessors (DurableEpoch,
+	// WALAppendedBytes) read it without the committer mutex; all writers
+	// of the pointer hold commit.mu, so loads within a commit group are
+	// stable.
+	log    atomic.Pointer[wal.ShardedLog]
 	walSeq int
+	// walBytes accumulates bytes appended to rotated-away segments.
+	// walBytesMu makes {walBytes, log} consistent for WALAppendedBytes
+	// against rotation, which retires the old segment's count and swaps
+	// the pointer as one step — without it the gauge would transiently
+	// double- or under-count a whole segment mid-checkpoint.
+	walBytesMu sync.Mutex
+	walBytes   int64
+
+	// follower marks the graph a read replica driven by ApplyEpoch:
+	// local write transactions are rejected with ErrFollower, since the
+	// replica's epoch sequence is dictated by its primary.
+	follower atomic.Bool
+
+	// applyMu serialises ApplyEpoch (one replication stream at a time);
+	// replH is the applier's pooled allocation handle.
+	applyMu sync.Mutex
+	replH   *storage.Handle
 
 	handleMu sync.Mutex
 	handles  []*storage.Handle // one pooled allocation handle per slot
@@ -240,7 +262,7 @@ func Open(opts Options) (*Graph, error) {
 		// Everything replayed is durable; the committer keeps the
 		// invariant GRE <= DurableEpoch from here on.
 		l.SetDurableEpoch(g.epochs.ReadEpoch())
-		g.log = l
+		g.log.Store(l)
 	}
 	g.commit = newCommitter(g)
 	return g, nil
@@ -252,8 +274,8 @@ func (g *Graph) Close() error {
 		return nil
 	}
 	g.commit.stop()
-	if g.log != nil {
-		return g.log.Close()
+	if l := g.log.Load(); l != nil {
+		return l.Close()
 	}
 	return nil
 }
@@ -262,8 +284,47 @@ func (g *Graph) Close() error {
 // deleted ones).
 func (g *Graph) NumVertices() int64 { return g.nextVertex.Load() }
 
-// ReadEpoch returns the current global read epoch (GRE).
+// ReadEpoch returns the current global read epoch (GRE). On a follower
+// this is the applied epoch: the newest primary commit group reflected in
+// every new snapshot.
 func (g *Graph) ReadEpoch() int64 { return g.epochs.ReadEpoch() }
+
+// DurableEpoch returns the newest epoch durable on every WAL shard — the
+// replication shipper's upper bound. On a volatile graph (no WAL) every
+// published epoch is trivially "durable", so the read epoch is returned.
+func (g *Graph) DurableEpoch() int64 {
+	if l := g.log.Load(); l != nil {
+		return l.DurableEpoch()
+	}
+	return g.epochs.ReadEpoch()
+}
+
+// Dir returns the graph's durable directory ("" for a volatile graph).
+func (g *Graph) Dir() string { return g.opts.Dir }
+
+// WALAppendedBytes returns the total bytes appended to the WAL since
+// Open, across segment rotations (write-amplification and replication
+// lag-in-bytes observability).
+func (g *Graph) WALAppendedBytes() int64 {
+	g.walBytesMu.Lock()
+	defer g.walBytesMu.Unlock()
+	n := g.walBytes
+	if l := g.log.Load(); l != nil {
+		n += l.AppendedBytes()
+	}
+	return n
+}
+
+// Follower reports whether the graph is a read replica (see SetFollower).
+func (g *Graph) Follower() bool { return g.follower.Load() }
+
+// SetFollower marks the graph a read replica: local write transactions
+// are rejected with ErrFollower, leaving ApplyEpoch the only mutator, so
+// the replica's epoch sequence exactly mirrors its primary's. ApplyEpoch
+// sets the mark itself; SetFollower(false) is the promotion hook — after
+// the replication stream has definitively stopped, a promoted replica
+// accepts writes and continues the epoch sequence locally.
+func (g *Graph) SetFollower(on bool) { g.follower.Store(on) }
 
 // Stats returns a live view of engine counters.
 func (g *Graph) Stats() *GraphStats { return &g.stats }

@@ -24,8 +24,15 @@ type readerFixture struct {
 }
 
 func buildReaderFixture(t testing.TB) *readerFixture {
+	return buildReaderFixtureOn(t, openMem(t))
+}
+
+// buildReaderFixtureOn commits the fixture into an arbitrary graph — the
+// replication tests build it on a durable primary and ship it to a
+// follower, whose Readers then run the same conformance battery.
+func buildReaderFixtureOn(t testing.TB, g *Graph) *readerFixture {
 	t.Helper()
-	f := &readerFixture{g: openMem(t)}
+	f := &readerFixture{g: g}
 	mustCommit(t, f.g, func(tx *Tx) {
 		f.a, _ = tx.AddVertex([]byte("alice"))
 		f.b, _ = tx.AddVertex([]byte("bob"))

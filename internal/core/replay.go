@@ -31,7 +31,7 @@ func (g *Graph) recover() error {
 		}
 		afterEpoch = meta.Epoch
 	}
-	groups, maxSeq, err := walSegmentGroups(g.opts.Dir, meta.MinWALSeq)
+	groups, maxSeq, err := wal.Segments(g.opts.Dir, meta.MinWALSeq)
 	if err != nil {
 		return err
 	}
@@ -39,15 +39,15 @@ func (g *Graph) recover() error {
 	maxEpoch := afterEpoch
 	h := g.alloc.NewHandle()
 	for _, seg := range groups {
-		if seg.seq < meta.MinWALSeq {
+		if seg.Seq < meta.MinWALSeq {
 			// Fully superseded by the checkpoint; the checkpointer
 			// crashed mid-prune. Finish the job instead of replaying.
-			for _, p := range seg.paths {
+			for _, p := range seg.Paths {
 				os.Remove(p)
 			}
 			continue
 		}
-		durable, err := wal.ReplaySharded(seg.paths, afterEpoch, func(epoch int64, rec []byte) error {
+		durable, err := wal.ReplaySharded(seg.Paths, afterEpoch, func(epoch int64, rec []byte) error {
 			ops, err := decodeOps(rec)
 			if err != nil {
 				return err
@@ -87,14 +87,17 @@ func (g *Graph) replayOp(h *storage.Handle, op walOp, epoch int64) {
 		if int64(op.dst) >= g.nextVertex.Load() {
 			g.nextVertex.Store(int64(op.dst) + 1)
 		}
-		g.replayEdge(h, op.op, op.v, op.label, op.dst, op.data, epoch)
+		g.replayEdge(h, op.op, op.v, op.label, op.dst, op.data, epoch, false)
 	}
 }
 
 // replayEdge applies one edge operation directly with a committed
-// timestamp. Single-threaded: no locks, superseded blocks are freed
-// immediately.
-func (g *Graph) replayEdge(h *storage.Handle, op byte, src VertexID, label Label, dst VertexID, props []byte, epoch int64) {
+// timestamp, from recovery (live=false: the graph has no readers, so no
+// locks are taken and superseded blocks are freed immediately) or from a
+// replication apply (live=true: concurrent snapshots may hold the old
+// block, so it is defer-freed past every pinned epoch; the caller holds
+// the vertex lock).
+func (g *Graph) replayEdge(h *storage.Handle, op byte, src VertexID, label Label, dst VertexID, props []byte, epoch int64, live bool) {
 	ll := g.eindex.Get(int64(src))
 	if ll == nil {
 		ll = &labelList{}
@@ -123,9 +126,17 @@ func (g *Graph) replayEdge(h *storage.Handle, op byte, src VertexID, label Label
 	if !t.Fits(n, pl, len(props)) {
 		nt := tel.New(h, int64(src), int64(label), max(n+1, t.EntryCap()*2), max(pl+len(props), t.PropCap()*2))
 		nt.CopyAllFrom(t, n, pl)
-		nt.Prev = nil // recovery owns the old block; no readers exist
 		e.tel.Store(nt)
-		h.Free(t.Block)
+		if live {
+			// A concurrent snapshot may be mid-scan over the old block:
+			// recycle it only once every reader pinned below the current
+			// write epoch has exited (same discipline as Tx.upgrade).
+			h.DeferFree(t.Block, g.epochs.WriteEpoch())
+			g.forgetBlock(t)
+		} else {
+			nt.Prev = nil // recovery owns the old block; no readers exist
+			h.Free(t.Block)
+		}
 		t = nt
 	}
 	pl = t.Append(n, int64(dst), epoch, props, pl)

@@ -110,7 +110,7 @@ func TestStressShardedCommitSnapshotIsolation(t *testing.T) {
 				// the durability watermark only grows, so the pair is
 				// a valid witness even without a global lock.
 				gre := g.epochs.ReadEpoch()
-				if durable := g.log.DurableEpoch(); gre > durable {
+				if durable := g.log.Load().DurableEpoch(); gre > durable {
 					fail("GRE %d exceeds durable epoch %d", gre, durable)
 					return
 				}

@@ -26,12 +26,20 @@ type Tx struct {
 	ro     bool
 	done   bool
 
-	locked    map[uint64]struct{} // held lock stripes (dedup by stripe, not vertex)
-	telWrites map[telKey]*telWrite
-	vWrites   map[VertexID]*vertexWrite
-	walBufs   [][]byte // WAL record per shard, partitioned by vertex ownership
-	commitRes chan error
+	locked      map[uint64]struct{} // held lock stripes (dedup by stripe, not vertex)
+	telWrites   map[telKey]*telWrite
+	vWrites     map[VertexID]*vertexWrite
+	walBufs     [][]byte // WAL record per shard, partitioned by vertex ownership
+	commitRes   chan error
+	commitEpoch int64 // the group's commit epoch, set by the leader on success
 }
+
+// CommitEpoch returns the epoch this transaction's commit group was
+// stamped with — the handle for read-your-writes routing: a reader that
+// observes this epoch (or later) sees the transaction's effects. Valid
+// only after Commit/CommitCtx returned nil; 0 otherwise (read-only and
+// empty transactions have no commit group).
+func (tx *Tx) CommitEpoch() int64 { return tx.commitEpoch }
 
 // walShard returns the WAL record buffer for the shard owning v. One
 // transaction contributes at most one record per shard; the committer
@@ -80,6 +88,9 @@ func (g *Graph) Begin() (*Tx, error) { return g.BeginCtx(context.Background()) }
 func (g *Graph) BeginCtx(ctx context.Context) (*Tx, error) {
 	if g.closed.Load() {
 		return nil, ErrClosed
+	}
+	if g.follower.Load() {
+		return nil, ErrFollower
 	}
 	slot, err := g.acquireSlotCtx(ctx)
 	if err != nil {

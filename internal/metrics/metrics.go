@@ -119,6 +119,48 @@ func Ms(d time.Duration) string {
 	return fmt.Sprintf("%.4f", float64(d.Nanoseconds())/1e6)
 }
 
+// ReplStats tracks WAL-shipping replication progress, shared between the
+// repl shipper/applier and the /v1/stats endpoint. All fields are atomic
+// counters or gauges; the zero value is ready to use.
+//
+// On the primary the Streamed* fields count what left over replication
+// streams; on a replica the Applied*/SourceEpoch fields track how far the
+// applier has caught up to the primary's durable epoch.
+type ReplStats struct {
+	StreamsOpen    atomic.Int64 // primary: replication streams currently open
+	StreamedGroups atomic.Int64 // primary: commit groups shipped
+	StreamedBytes  atomic.Int64 // primary: frame bytes shipped
+
+	AppliedGroups atomic.Int64 // replica: commit groups applied
+	AppliedBytes  atomic.Int64 // replica: frame bytes applied
+	AppliedEpoch  atomic.Int64 // replica: newest epoch applied
+	SourceEpoch   atomic.Int64 // replica: primary's durable epoch, as last heard
+	Reconnects    atomic.Int64 // replica: stream reconnect attempts
+}
+
+// ObserveSourceEpoch folds a primary-epoch observation into SourceEpoch
+// (monotonic: stream frames and heartbeats may interleave out of order
+// across reconnects).
+func (r *ReplStats) ObserveSourceEpoch(e int64) {
+	for {
+		cur := r.SourceEpoch.Load()
+		if e <= cur || r.SourceEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// LagEpochs returns the replica's staleness in epochs — how many commit
+// groups (at most) the primary has durably committed that the replica has
+// not applied. 0 on a fully caught-up replica.
+func (r *ReplStats) LagEpochs() int64 {
+	lag := r.SourceEpoch.Load() - r.AppliedEpoch.Load()
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
 // Result is one benchmark measurement: a latency distribution plus the
 // wall-clock throughput it was achieved at.
 type Result struct {

@@ -111,3 +111,20 @@ func TestThroughput(t *testing.T) {
 		t.Fatal("zero elapsed should give zero throughput")
 	}
 }
+
+func TestReplStats(t *testing.T) {
+	var r ReplStats
+	r.ObserveSourceEpoch(10)
+	r.ObserveSourceEpoch(7) // monotonic
+	if got := r.SourceEpoch.Load(); got != 10 {
+		t.Fatalf("SourceEpoch = %d, want 10", got)
+	}
+	r.AppliedEpoch.Store(6)
+	if got := r.LagEpochs(); got != 4 {
+		t.Fatalf("LagEpochs = %d, want 4", got)
+	}
+	r.AppliedEpoch.Store(12) // applied can lead a stale source observation
+	if got := r.LagEpochs(); got != 0 {
+		t.Fatalf("LagEpochs = %d, want 0", got)
+	}
+}

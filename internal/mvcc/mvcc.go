@@ -61,6 +61,22 @@ func (e *Epochs) PublishRead(ts int64) {
 	}
 }
 
+// AdvanceTo moves both counters forward to ts (monotonically; a smaller
+// ts is a no-op). This is the replication-apply sequence point: a replica
+// does not form commit groups of its own — its epoch sequence is dictated
+// by the primary's log — so after a commit group is fully applied, GWE
+// and GRE jump together to the group's epoch. GWE is raised first so the
+// invariant GWE >= GRE holds at every instant.
+func (e *Epochs) AdvanceTo(ts int64) {
+	for {
+		cur := e.gwe.Load()
+		if ts <= cur || e.gwe.CompareAndSwap(cur, ts) {
+			break
+		}
+	}
+	e.PublishRead(ts)
+}
+
 // WaitRead is the PublishRead barrier: it blocks until GRE >= ts, i.e.
 // until the commit group stamped ts (and every earlier group) has fully
 // applied and been published. Even with the persist phase fanned out

@@ -249,3 +249,16 @@ func TestWaitReadBarrier(t *testing.T) {
 		t.Fatal("WaitRead(7) did not observe publish")
 	}
 }
+
+func TestAdvanceTo(t *testing.T) {
+	var e Epochs
+	e.Init(5)
+	e.AdvanceTo(9) // replication apply: both counters jump to the group's epoch
+	if e.WriteEpoch() != 9 || e.ReadEpoch() != 9 {
+		t.Fatalf("after AdvanceTo(9): GWE=%d GRE=%d", e.WriteEpoch(), e.ReadEpoch())
+	}
+	e.AdvanceTo(3) // monotonic: an older epoch is a no-op
+	if e.WriteEpoch() != 9 || e.ReadEpoch() != 9 {
+		t.Fatalf("AdvanceTo(3) rewound: GWE=%d GRE=%d", e.WriteEpoch(), e.ReadEpoch())
+	}
+}

@@ -1,0 +1,300 @@
+package repl_test
+
+// End-to-end replication: a durable primary behind the real HTTP server,
+// a follower fed by an Applier over a real connection, concurrent writers
+// on the primary — the follower must serve transactionally consistent
+// snapshots at every instant, survive a forced stream disconnect, and
+// resume from its applied epoch without skipping or re-applying a group.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"livegraph/internal/core"
+	"livegraph/internal/repl"
+	"livegraph/internal/server"
+)
+
+// pair is the test workload's atomicity witness: every transaction
+// inserts one edge on label 0 AND one on label 1 for the same source, so
+// any consistent snapshot shows equal degrees on the two labels for every
+// source — a torn group would break the equality.
+func writePair(t testing.TB, c *server.Client, src, dst int64) {
+	t.Helper()
+	_, err := c.Tx(
+		server.Op{Op: "insertEdge", Src: src, Label: 0, Dst: dst},
+		server.Op{Op: "insertEdge", Src: src, Label: 1, Dst: dst},
+	)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func waitCatchUp(t testing.TB, primary, follower *core.Graph, deadline time.Duration) {
+	t.Helper()
+	target := primary.ReadEpoch()
+	for start := time.Now(); follower.ReadEpoch() < target; {
+		if time.Since(start) > deadline {
+			t.Fatalf("follower stuck at epoch %d, primary at %d", follower.ReadEpoch(), target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReplicationEndToEnd(t *testing.T) {
+	primary, err := core.Open(core.Options{Dir: t.TempDir(), WALShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	ps := server.New(primary)
+	hs := httptest.NewServer(ps)
+	defer hs.Close()
+	client := server.NewClient(hs.URL)
+
+	follower, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	ap := repl.NewApplier(follower, hs.URL)
+	ap.ReconnectBase = time.Millisecond
+
+	runCtx, stopStream := context.WithCancel(context.Background())
+	apDone := make(chan error, 1)
+	go func() { apDone <- ap.Run(runCtx) }()
+
+	// Phase 1: concurrent writers + concurrent follower snapshot checks.
+	const writers, perWriter, srcs = 4, 60, 8
+	var wg sync.WaitGroup
+	checksDone := make(chan struct{})
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				writePair(t, client, int64((w*perWriter+i)%srcs), int64(srcs+w*perWriter+i))
+			}
+		}(w)
+	}
+	go func() {
+		defer close(checksDone)
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			default:
+			}
+			snap, err := follower.Snapshot()
+			if err != nil {
+				return
+			}
+			for s := int64(0); s < srcs; s++ {
+				d0 := snap.Degree(core.VertexID(s), 0)
+				d1 := snap.Degree(core.VertexID(s), 1)
+				if d0 != d1 {
+					t.Errorf("follower snapshot at epoch %d inconsistent: src %d has %d/%d edges on labels 0/1",
+						snap.Epoch(), s, d0, d1)
+					return
+				}
+			}
+			snap.Release()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	waitCatchUp(t, primary, follower, 10*time.Second)
+
+	// Phase 2: forced disconnect. Kill the stream mid-deployment, keep
+	// writing, then resume from the applied epoch.
+	stopStream()
+	if err := <-apDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("applier exit = %v, want context.Canceled", err)
+	}
+	<-checksDone
+	resumeFrom := follower.ReadEpoch()
+	for i := 0; i < 50; i++ {
+		writePair(t, client, int64(i%srcs), int64(1000+i))
+	}
+	if primary.ReadEpoch() <= resumeFrom {
+		t.Fatal("primary did not advance while the stream was down")
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	apDone2 := make(chan error, 1)
+	go func() { apDone2 <- ap.Run(ctx2) }()
+	waitCatchUp(t, primary, follower, 10*time.Second)
+	// ApplyEpoch rejects out-of-order groups, so reaching the primary's
+	// epoch proves the resume neither skipped nor re-applied anything;
+	// equality of full adjacency state proves it byte-for-byte.
+	compareGraphs(t, primary, follower, srcs)
+
+	cancel2()
+	<-apDone2
+
+	// The follower rejects local writes the whole time.
+	if _, err := follower.Begin(); !errors.Is(err, core.ErrFollower) {
+		t.Fatalf("follower Begin = %v, want ErrFollower", err)
+	}
+}
+
+// compareGraphs asserts identical adjacency lists (both labels) for every
+// source vertex at the two graphs' current epochs.
+func compareGraphs(t testing.TB, primary, follower *core.Graph, srcs int64) {
+	t.Helper()
+	if p, f := primary.ReadEpoch(), follower.ReadEpoch(); p != f {
+		t.Fatalf("epochs diverge: primary %d, follower %d", p, f)
+	}
+	ps, err := primary.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Release()
+	fs, err := follower.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Release()
+	// NumVertices is deliberately not compared: a live primary does not
+	// allocate IDs for edge endpoints, while the replay path (recovery
+	// and replication alike) raises the ID frontier past them.
+	for s := int64(0); s < srcs; s++ {
+		for label := core.Label(0); label <= 1; label++ {
+			var pl, fl []string
+			ps.ScanNeighbors(core.VertexID(s), label, func(dst core.VertexID, props []byte) bool {
+				pl = append(pl, fmt.Sprintf("%d:%x", dst, props))
+				return true
+			})
+			fs.ScanNeighbors(core.VertexID(s), label, func(dst core.VertexID, props []byte) bool {
+				fl = append(fl, fmt.Sprintf("%d:%x", dst, props))
+				return true
+			})
+			if !reflect.DeepEqual(pl, fl) {
+				t.Fatalf("src %d label %d: primary %v, follower %v", s, label, pl, fl)
+			}
+		}
+	}
+}
+
+// TestReplicationHeartbeatAndLag checks that an idle stream still reports
+// the primary's durable epoch (so lag is measurable with no traffic).
+func TestReplicationHeartbeatAndLag(t *testing.T) {
+	primary, err := core.Open(core.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	ps := server.New(primary)
+	ps.Shipper.Heartbeat = 5 * time.Millisecond
+	hs := httptest.NewServer(ps)
+	defer hs.Close()
+	client := server.NewClient(hs.URL)
+	if _, err := client.Tx(server.Op{Op: "addVertex", Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+
+	follower, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	ap := repl.NewApplier(follower, hs.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ap.Run(ctx) }()
+	waitCatchUp(t, primary, follower, 5*time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ap.Stats.SourceEpoch.Load() < primary.DurableEpoch() {
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeat never delivered source epoch %d (have %d)",
+				primary.DurableEpoch(), ap.Stats.SourceEpoch.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if lag := ap.Stats.LagEpochs(); lag != 0 {
+		t.Fatalf("idle caught-up replica reports lag %d", lag)
+	}
+	cancel()
+	<-done
+}
+
+// TestShipperResumePositionGone: a replica asking for epochs behind the
+// primary's checkpoint gets a terminal resync answer, not a silent gap.
+func TestShipperResumePositionGone(t *testing.T) {
+	primary, err := core.Open(core.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	ps := server.New(primary)
+	hs := httptest.NewServer(ps)
+	defer hs.Close()
+	client := server.NewClient(hs.URL)
+	for i := 0; i < 5; i++ {
+		if _, err := client.Tx(server.Op{Op: "addVertex"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	follower, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	ap := repl.NewApplier(follower, hs.URL) // resumes after=0 < checkpoint epoch
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ap.Run(ctx); !errors.Is(err, repl.ErrResyncRequired) {
+		t.Fatalf("Run = %v, want ErrResyncRequired", err)
+	}
+}
+
+// TestShipperClose drains an open stream promptly.
+func TestShipperClose(t *testing.T) {
+	primary, err := core.Open(core.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	ps := server.New(primary)
+	hs := httptest.NewServer(ps)
+	defer hs.Close()
+
+	follower, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	ap := repl.NewApplier(follower, hs.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ap.Run(ctx)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ps.Shipper.Stats.StreamsOpen.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never opened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cctx, ccancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer ccancel()
+	if err := ps.Close(cctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if n := ps.Shipper.Stats.StreamsOpen.Load(); n != 0 {
+		t.Fatalf("%d streams still open after Close", n)
+	}
+}

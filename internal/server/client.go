@@ -8,15 +8,26 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
 // Client is a minimal Go client for the HTTP API, used by cmd/lgserver's
 // smoke mode and by tests; applications embedding the library should use
 // package livegraph directly.
+//
+// A Client may target a replicated deployment: Base is the primary (all
+// writes go there) and Replicas lists read endpoints. Reads rotate across
+// the replicas and fail over — to the next replica and finally the
+// primary — on connection errors, 5xx, and staleness rejections. The
+// client tracks the highest commit epoch it has observed (from its own
+// writes and from traversal responses) and stamps reads with a minimum
+// epoch derived from MaxStaleness, so a replica that cannot prove it is
+// fresh enough answers 412 and the read lands somewhere that can.
 type Client struct {
-	Base string
-	HC   *http.Client
+	Base     string   // primary: writes, checkpoint, last-resort reads
+	Replicas []string // read replicas (optional)
+	HC       *http.Client
 
 	// MaxRetries caps client-side retries of retryable transaction
 	// failures (HTTP 409, the server's "kept conflicting" answer —
@@ -25,17 +36,75 @@ type Client struct {
 	MaxRetries int
 	RetryBase  time.Duration
 	RetryMax   time.Duration
+
+	// MaxStaleness bounds how many epochs a replica may lag behind this
+	// client's last observed commit epoch and still serve its reads:
+	// 0 (the default) is read-your-writes — a replica must have applied
+	// every commit this client has seen; > 0 allows that much slack;
+	// -1 disables the bound entirely (any replica, however stale).
+	MaxStaleness int64
+
+	// MinEpoch is an absolute read floor applied regardless of what this
+	// client has observed — e.g. an epoch obtained out of band from
+	// another client's write.
+	MinEpoch int64
+
+	lastEpoch atomic.Int64 // highest commit epoch observed
+	rr        atomic.Int64 // replica round-robin cursor
 }
 
-// NewClient targets a server at base (e.g. "http://localhost:7450").
-func NewClient(base string) *Client {
+// NewClient targets a primary at base (e.g. "http://localhost:7450"),
+// optionally with read replicas.
+func NewClient(base string, replicas ...string) *Client {
 	return &Client{
 		Base:       base,
+		Replicas:   replicas,
 		HC:         http.DefaultClient,
 		MaxRetries: 4,
 		RetryBase:  2 * time.Millisecond,
 		RetryMax:   100 * time.Millisecond,
 	}
+}
+
+// ObserveEpoch folds an externally learned commit epoch into the client's
+// read-your-writes floor (Tx and Traverse do this automatically).
+func (c *Client) ObserveEpoch(e int64) {
+	for {
+		cur := c.lastEpoch.Load()
+		if e <= cur || c.lastEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// LastEpoch returns the highest commit epoch this client has observed.
+func (c *Client) LastEpoch() int64 { return c.lastEpoch.Load() }
+
+// requiredEpoch computes the minimum applied epoch an endpoint must prove
+// before serving this client's next read.
+func (c *Client) requiredEpoch() int64 {
+	min := c.MinEpoch
+	if c.MaxStaleness >= 0 {
+		if m := c.lastEpoch.Load() - c.MaxStaleness; m > min {
+			min = m
+		}
+	}
+	return min
+}
+
+// readOrder returns the endpoints a read should try, in order: the
+// replicas, rotated for load spreading, then the primary as the endpoint
+// of last resort (it trivially satisfies any epoch this client observed).
+func (c *Client) readOrder() []string {
+	if len(c.Replicas) == 0 {
+		return []string{c.Base}
+	}
+	start := int(c.rr.Add(1)-1) % len(c.Replicas)
+	order := make([]string, 0, len(c.Replicas)+1)
+	for i := range c.Replicas {
+		order = append(order, c.Replicas[(start+i)%len(c.Replicas)])
+	}
+	return append(order, c.Base)
 }
 
 // Tx executes ops atomically and returns created vertex IDs. A 409
@@ -65,6 +134,7 @@ func (c *Client) Tx(ops ...Op) ([]int64, error) {
 			if err != nil {
 				return nil, err
 			}
+			c.ObserveEpoch(out.Epoch)
 			return out.VertexIDs, nil
 		}
 		lastErr = apiError(resp)
@@ -173,13 +243,30 @@ func (c *Client) Traverse(src int64, out []int64, opt *TraverseOptions) ([]int64
 	if err := c.get(fmt.Sprintf("/v1/traverse/%d?%s", src, q.Encode()), &resp); err != nil {
 		return nil, 0, err
 	}
+	c.ObserveEpoch(resp.Epoch)
 	return resp.Vertices, resp.Epoch, nil
 }
 
-// Stats fetches engine counters.
+// Stats fetches the primary's engine counters. Deliberately NOT routed:
+// stats are per-node observations (a replica reports its own lag and
+// zero commits), so monitoring must name the node it is asking — use
+// StatsOf for a specific replica.
 func (c *Client) Stats() (map[string]int64, error) {
+	return c.StatsOf(c.Base)
+}
+
+// StatsOf fetches one endpoint's engine counters.
+func (c *Client) StatsOf(base string) (map[string]int64, error) {
+	resp, err := c.HC.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
 	var out map[string]int64
-	if err := c.get("/v1/stats", &out); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -199,16 +286,46 @@ func (c *Client) Checkpoint() error {
 	return nil
 }
 
+// get performs a routed read: each endpoint in readOrder is tried until
+// one serves the request. Connection errors, 5xx, and staleness/role
+// rejections (412, 403) fail over to the next endpoint; definitive
+// client-side answers (404, 400, 410, 422, ...) return immediately —
+// every endpoint would say the same. Replicas are asked to prove they
+// satisfy the client's staleness bound via the min-epoch precondition;
+// the primary is never asked (it is the freshness source).
 func (c *Client) get(path string, out any) error {
-	resp, err := c.HC.Get(c.Base + path)
-	if err != nil {
-		return err
+	min := c.requiredEpoch()
+	var lastErr error
+	for _, base := range c.readOrder() {
+		req, err := http.NewRequest(http.MethodGet, base+path, nil)
+		if err != nil {
+			return err
+		}
+		if min > 0 && base != c.Base {
+			req.Header.Set(MinEpochHeader, strconv.FormatInt(min, 10))
+		}
+		resp, err := c.HC.Do(req)
+		if err != nil {
+			lastErr = err // endpoint unreachable: fail over
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			return err
+		}
+		apiErr := apiError(resp)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusPreconditionFailed,
+			resp.StatusCode == http.StatusForbidden,
+			resp.StatusCode >= 500:
+			lastErr = apiErr // stale replica / wrong role / server trouble: fail over
+		default:
+			return apiErr
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return lastErr
 }
 
 func apiError(resp *http.Response) error {

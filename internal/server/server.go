@@ -14,6 +14,15 @@
 //	GET  /v1/traverse/{src}?out=L&out=L2&...        -> multi-hop traversal
 //	GET  /v1/stats                                  -> engine counters
 //	POST /v1/checkpoint                             -> durable checkpoint
+//	GET  /v1/repl/stream?after=E                    -> WAL-shipping stream (binary)
+//
+// A server is a primary (New) or a follower (NewFollower). A durable
+// primary ships its WAL on /v1/repl/stream; a follower applies that
+// stream into its graph, serves every read endpoint at its applied epoch,
+// and rejects writes with 403. Read requests may carry the
+// X-Livegraph-Min-Epoch header; a server whose applied epoch is behind it
+// answers 412 instead of serving stale data (Client uses this for
+// read-your-writes and bounded-staleness routing).
 //
 // Payloads are base64 within JSON. Transaction ops:
 //
@@ -50,9 +59,21 @@ import (
 	"strings"
 
 	"livegraph/internal/core"
+	"livegraph/internal/repl"
 )
 
-// Server serves a core.Graph over HTTP.
+// MinEpochHeader is the read-precondition header: a request carrying it
+// is served only if the graph's read (applied) epoch has reached the
+// given value; otherwise the server answers 412 Precondition Failed and
+// the client routes to a fresher endpoint. This is how bounded-staleness
+// and read-your-writes routing stay a replica-side decision — the client
+// never needs to poll replica positions.
+const MinEpochHeader = "X-Livegraph-Min-Epoch"
+
+// Server serves a core.Graph over HTTP — as a primary (accepting writes
+// and, when the graph is durable, shipping its WAL to replicas) or as a
+// follower (serving every read endpoint at its applied epoch, rejecting
+// writes with 403).
 type Server struct {
 	G          *core.Graph
 	MaxRetries int
@@ -66,11 +87,36 @@ type Server struct {
 	// may request for one traversal, so a single query cannot claim an
 	// unbounded number of goroutines.
 	MaxTraverseParallel int
-	mux                 *http.ServeMux
+	// Shipper serves GET /v1/repl/stream (primary side). New enables it
+	// automatically for durable graphs; nil answers 501.
+	Shipper *repl.Shipper
+	// Applier marks this server a follower: writes answer 403 and
+	// /v1/stats reports replication lag. Set via NewFollower.
+	Applier *repl.Applier
+	mux     *http.ServeMux
 }
 
-// New builds a server for g.
+// New builds a primary server for g. If g is durable its WAL is served to
+// replicas on GET /v1/repl/stream.
 func New(g *core.Graph) *Server {
+	s := newServer(g)
+	if g.Dir() != "" {
+		s.Shipper = repl.NewShipper(g)
+	}
+	return s
+}
+
+// NewFollower builds a follower server: g is the replica graph ap keeps
+// fed from the primary (run ap.Run yourself — the server only reports its
+// progress). All read endpoints serve at the applied epoch; writes are
+// rejected with 403.
+func NewFollower(g *core.Graph, ap *repl.Applier) *Server {
+	s := newServer(g)
+	s.Applier = ap
+	return s
+}
+
+func newServer(g *core.Graph) *Server {
 	s := &Server{G: g, MaxRetries: 16, MaxTraverseHops: 8, MaxTraverseFrontier: 1 << 20, MaxTraverseParallel: 16}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tx", s.handleTx)
@@ -81,12 +127,60 @@ func New(g *core.Graph) *Server {
 	mux.HandleFunc("GET /v1/traverse/", s.handleTraverse)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
 	s.mux = mux
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the server's long-lived replication streams (bounded by
+// ctx). Call it before http.Server.Shutdown so stream connections do not
+// hold the drain open forever; regular request handlers are unaffected.
+func (s *Server) Close(ctx context.Context) error {
+	if s.Shipper != nil {
+		return s.Shipper.Close(ctx)
+	}
+	return nil
+}
+
+// rejectWrite answers 403 on follower servers, keeping the replica's
+// state a pure function of the primary's log.
+func (s *Server) rejectWrite(w http.ResponseWriter) bool {
+	if s.Applier == nil {
+		return false
+	}
+	httpErr(w, http.StatusForbidden, "read replica: writes must go to the primary")
+	return true
+}
+
+// checkMinEpoch enforces the MinEpochHeader read precondition, answering
+// 412 (and returning false) when this server has not applied far enough.
+func (s *Server) checkMinEpoch(w http.ResponseWriter, r *http.Request) bool {
+	h := r.Header.Get(MinEpochHeader)
+	if h == "" {
+		return true
+	}
+	min, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || min < 0 {
+		httpErr(w, http.StatusBadRequest, "%s=%q: must be a non-negative epoch", MinEpochHeader, h)
+		return false
+	}
+	if cur := s.G.ReadEpoch(); cur < min {
+		httpErr(w, http.StatusPreconditionFailed, "applied epoch %d behind required %d", cur, min)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	if s.Shipper == nil {
+		httpErr(w, http.StatusNotImplemented, "replication stream not served here (volatile graph or follower)")
+		return
+	}
+	s.Shipper.ServeStream(w, r)
+}
 
 // Op is one operation inside a transaction request.
 type Op struct {
@@ -104,12 +198,18 @@ type TxRequest struct {
 	Ops []Op `json:"ops"`
 }
 
-// TxResponse reports created vertex IDs (in AddVertex order).
+// TxResponse reports created vertex IDs (in AddVertex order) and the
+// commit epoch — the read-your-writes token: any Reader whose epoch has
+// reached Epoch observes this transaction.
 type TxResponse struct {
 	VertexIDs []int64 `json:"vertexIds,omitempty"`
+	Epoch     int64   `json:"epoch,omitempty"`
 }
 
 func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWrite(w) {
+		return
+	}
 	var req TxRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpErr(w, http.StatusBadRequest, "bad json: %v", err)
@@ -144,6 +244,7 @@ func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
 		}
 		lastErr = tx.CommitCtx(ctx)
 		if lastErr == nil {
+			resp.Epoch = tx.CommitEpoch()
 			writeJSON(w, resp)
 			return
 		}
@@ -231,6 +332,9 @@ func pathInts(path, prefix string, n int) ([]int64, error) {
 // here: the v2 surface means they share one acquisition path no matter
 // which Reader implementation serves them.
 func (s *Server) readView(w http.ResponseWriter, r *http.Request, fn func(rd core.Reader)) {
+	if !s.checkMinEpoch(w, r) {
+		return
+	}
 	tx, err := s.G.BeginReadCtx(r.Context())
 	if err != nil {
 		httpErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -340,6 +444,9 @@ type TraverseResponse struct {
 }
 
 func (s *Server) handleTraverse(w http.ResponseWriter, r *http.Request) {
+	if !s.checkMinEpoch(w, r) {
+		return
+	}
 	ids, err := pathInts(r.URL.Path, "/v1/traverse/", 1)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, "%v", err)
@@ -439,7 +546,7 @@ func (s *Server) handleTraverse(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.G.Stats()
 	al := s.G.AllocStats()
-	writeJSON(w, map[string]int64{
+	out := map[string]int64{
 		"commits":         st.Commits.Load(),
 		"aborts":          st.Aborts.Load(),
 		"compactions":     st.Compactions.Load(),
@@ -449,10 +556,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"readEpoch":       s.G.ReadEpoch(),
 		"allocatedBlocks": al.AllocatedBlocks,
 		"allocatedBytes":  al.AllocatedWords * 8,
-	})
+		// Replication observability (lag without log-diving): on a
+		// primary appliedEpoch == readEpoch and durableEpoch is the WAL
+		// watermark replicas can reach; on a follower appliedEpoch is how
+		// far it has caught up.
+		"durableEpoch":     s.G.DurableEpoch(),
+		"appliedEpoch":     s.G.ReadEpoch(),
+		"walAppendedBytes": s.G.WALAppendedBytes(),
+	}
+	if s.Shipper != nil {
+		out["replStreams"] = s.Shipper.Stats.StreamsOpen.Load()
+		out["replStreamedGroups"] = s.Shipper.Stats.StreamedGroups.Load()
+		out["replStreamedBytes"] = s.Shipper.Stats.StreamedBytes.Load()
+	}
+	if s.Applier != nil {
+		out["replSourceEpoch"] = s.Applier.Stats.SourceEpoch.Load()
+		out["replLagEpochs"] = s.Applier.Stats.LagEpochs()
+		out["replAppliedGroups"] = s.Applier.Stats.AppliedGroups.Load()
+		out["replAppliedBytes"] = s.Applier.Stats.AppliedBytes.Load()
+		out["replReconnects"] = s.Applier.Stats.Reconnects.Load()
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWrite(w) {
+		return
+	}
 	if err := s.G.Checkpoint(); err != nil {
 		httpErr(w, http.StatusInternalServerError, "%v", err)
 		return

@@ -119,6 +119,20 @@
 // all shard files at a quiescent point and record per-shard truncation
 // epochs in the checkpoint metadata.
 //
+// # Replication: read replicas with bounded staleness
+//
+// A durable graph's WAL is also its replication stream. The primary-side
+// shipper (internal/repl, served by lgserver as GET /v1/repl/stream)
+// tails the sharded log and ships complete commit groups, epoch-framed
+// and resumable; a follower applies each group atomically with
+// Graph.ApplyEpoch, advancing its read epoch only at group boundaries —
+// so every snapshot on a replica is a transactionally consistent prefix
+// of the primary's history. Followers reject local writes (ErrFollower),
+// serve every read surface (point reads, traversals, analytics) at their
+// applied epoch, and report lag in epochs and bytes via /v1/stats. The
+// HTTP client routes reads across replicas under a staleness bound, with
+// read-your-writes by default and failover to the primary.
+//
 // Write transactions that return ErrConflict or ErrLockTimeout have been
 // aborted under first-committer-wins; retry them (see IsRetryable).
 // Context cancellation and deadline errors also abort the transaction but
@@ -186,6 +200,10 @@ var (
 	// ErrHistoryGone is returned by Graph.SnapshotAt and Traversal.AsOf
 	// for epochs older than Options.HistoryRetention.
 	ErrHistoryGone = core.ErrHistoryGone
+	// ErrFollower is returned by Begin on a read replica (a graph fed by
+	// Graph.ApplyEpoch / the replication stream): writes must go to the
+	// primary. Reads are unaffected.
+	ErrFollower = core.ErrFollower
 	// ErrAsOfMismatch is returned by Traversal.Run when the traversal's
 	// AsOf epoch differs from the supplied Reader's epoch.
 	ErrAsOfMismatch = core.ErrAsOfMismatch
