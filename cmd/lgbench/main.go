@@ -40,6 +40,7 @@ func main() {
 		walShards  = flag.Int("wal-shards", 1, "WAL shards for durable experiments (parallel group-commit fan-out)")
 		travScale  = flag.Int("trav-scale", 15, "traversal experiment graph scale (2^scale vertices, avg degree 4)")
 		travOps    = flag.Int("trav-ops", 20, "traversal experiment runs per configuration")
+		maintEvery = flag.Int("maint-compact-every", 2048, "maintenance experiment commit-count compaction cadence")
 		jsonPath   = flag.String("json", "", "write machine-readable results (ns/op, edges/s, allocs/op per experiment) to this file")
 	)
 	flag.Parse()
@@ -71,6 +72,7 @@ func main() {
 	cfg.WALShards = *walShards
 	cfg.TravScale = *travScale
 	cfg.TravOps = *travOps
+	cfg.MaintCompactEvery = *maintEvery
 
 	// Non-nil so an experiment recording nothing still writes [], not null.
 	results := []bench.Metric{}

@@ -48,6 +48,11 @@ type Config struct {
 	TravScale int // kron graph scale: 2^TravScale vertices, avg degree 4
 	TravOps   int // traversal runs per measured configuration
 
+	// MaintCompactEvery is the commit-count compaction cadence used by
+	// the maintenance experiment's legacy and scheduler modes (the paper
+	// default of 65536 never fires at laptop scale).
+	MaintCompactEvery int
+
 	// Record, when non-nil, receives every machine-readable measurement an
 	// experiment emits alongside its printed rows; lgbench's -json flag
 	// wires this to a results file (BENCH_*.json).
@@ -84,6 +89,7 @@ func Default(out io.Writer) Config {
 		PRIters: 20, Workers: 8,
 		WALShards: 1,
 		TravScale: 15, TravOps: 20,
+		MaintCompactEvery: 2048,
 	}
 }
 
@@ -115,6 +121,7 @@ func Experiments() []Experiment {
 		{"tab10", "Table 10: ETL + PageRank/ConnComp, in-situ vs CSR engine", Tab10},
 		{"trav", "Morsel-driven parallel traversal: two-hop throughput vs worker-pool width", TraverseSweep},
 		{"repl", "WAL-shipping replication: follower apply throughput and staleness lag", Replication},
+		{"maint", "Background maintenance: budgeted scheduler vs legacy inline pass vs off", Maint},
 	}
 }
 

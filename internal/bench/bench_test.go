@@ -17,13 +17,14 @@ func tiny(out io.Writer) Config {
 		SNBPersons: 40, SNBClients: 2, SNBRequests: 5,
 		PRIters: 3, Workers: 2,
 		TravScale: 8, TravOps: 2,
+		MaintCompactEvery: 64,
 	}
 }
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("%d experiments registered, want 18 (one per table/figure plus trav and repl)", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("%d experiments registered, want 19 (one per table/figure plus trav, repl and maint)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -36,7 +37,8 @@ func TestExperimentRegistry(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"fig1", "tab3", "tab4", "tab5", "tab6", "fig5", "fig6",
-		"fig7a", "fig7b", "mem", "fig8", "ckpt", "tab7", "tab8", "tab9", "tab10", "trav"} {
+		"fig7a", "fig7b", "mem", "fig8", "ckpt", "tab7", "tab8", "tab9", "tab10", "trav",
+		"repl", "maint"} {
 		if !seen[want] {
 			t.Fatalf("experiment %s missing", want)
 		}

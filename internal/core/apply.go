@@ -59,7 +59,10 @@ func (g *Graph) ApplyEpoch(epoch int64, recs [][]byte) error {
 	// Group boundary: expose the whole group to future readers at once.
 	g.epochs.AdvanceTo(epoch)
 	// Recycle blocks superseded by past groups once no snapshot pins
-	// them; the follower has no committer to do this for it.
+	// them; the follower has no committer to do this for it. Compaction
+	// proper runs on the background maintenance scheduler, fed by the
+	// dirty marks above — followers prune dead versions under the same
+	// pressure triggers as primaries.
 	g.alloc.Reclaim(g.readers.MinActive(epoch))
 	return nil
 }
@@ -77,20 +80,34 @@ func (g *Graph) applyOpLive(op walOp, epoch int64) {
 		prev := g.vindex.Get(int64(op.v))
 		g.vindex.Set(int64(op.v), &vertexVersion{ts: epoch, data: data, prev: prev})
 		g.locks.Unlock(uint64(op.v))
-		g.markDirty(op.v)
+		var dead int64
+		if prev != nil {
+			dead = entryDeadBytes + int64(len(prev.data))
+		}
+		g.markDirty(op.v, dead)
 	case opDelVertex:
 		g.locks.Lock(uint64(op.v))
 		prev := g.vindex.Get(int64(op.v))
 		g.vindex.Set(int64(op.v), &vertexVersion{ts: epoch, deleted: true, prev: prev})
 		g.locks.Unlock(uint64(op.v))
-		g.markDirty(op.v)
+		var dead int64
+		if prev != nil {
+			dead = entryDeadBytes + int64(len(prev.data))
+		}
+		g.markDirty(op.v, dead)
 	case opInsertEdge, opUpsertEdge, opDeleteEdge:
 		g.bumpNextVertex(int64(op.v))
 		g.bumpNextVertex(int64(op.dst))
 		g.locks.Lock(uint64(op.v))
 		g.replayEdge(g.replH, op.op, op.v, op.label, op.dst, op.data, epoch, true)
 		g.locks.Unlock(uint64(op.v))
-		g.markDirty(op.v)
+		var dead int64
+		if op.op != opInsertEdge {
+			// Upserts and deletes invalidate a prior version; true
+			// insertions create no garbage.
+			dead = entryDeadBytes + int64(len(op.data))
+		}
+		g.markDirty(op.v, dead)
 	}
 }
 

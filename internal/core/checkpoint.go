@@ -28,6 +28,11 @@ func (g *Graph) Checkpoint() error {
 	}
 	g.ckptMu.Lock()
 	defer g.ckptMu.Unlock()
+	// Compact before dumping: draining the dirty set drops dead entries
+	// and right-sizes blocks, so the snapshot file only carries live
+	// state. A full pass holds one vertex lock at a time, so foreground
+	// transactions keep committing throughout.
+	g.CompactNow()
 	// Rotate the WAL under the committer's batch mutex: no commit group
 	// is in flight, so every record in the old segments has epoch <= E.
 	// The explicit PublishRead barrier pins the quiescence invariant —

@@ -141,7 +141,11 @@ func (c *committer) apply(tx *Tx, twe int64) {
 	for v, wv := range tx.vWrites {
 		prev := g.vindex.Get(int64(v))
 		g.vindex.Set(int64(v), &vertexVersion{ts: twe, data: wv.data, deleted: wv.deleted, prev: prev})
-		g.markDirty(v)
+		var dead int64
+		if prev != nil {
+			dead = entryDeadBytes + int64(len(prev.data))
+		}
+		g.markDirty(v, dead)
 	}
 	// Flip private timestamps to TWE. The paper releases locks before this
 	// conversion; we flip first and release after, because compaction may
@@ -159,19 +163,27 @@ func (c *committer) apply(tx *Tx, twe int64) {
 	tx.unlockAll()
 }
 
-// noteWriteCommitted ticks the compaction trigger (paper: a compaction task
-// every CompactEvery transactions).
+// noteWriteCommitted ticks the commit-count compaction trigger (paper: a
+// compaction task every CompactEvery transactions). With the background
+// scheduler this is one trigger among several — it force-wakes the
+// scheduler regardless of the pressure thresholds; in legacy mode it
+// spawns the old monolithic pass inline.
 func (g *Graph) noteWriteCommitted() {
 	if g.opts.CompactEvery < 0 {
 		return
 	}
 	n := g.writeTxns.Add(1)
-	if n%int64(g.opts.CompactEvery) == 0 {
-		if g.compacting.TryLock() {
-			go func() {
-				defer g.compacting.Unlock()
-				g.compactOnce()
-			}()
-		}
+	if n%int64(g.opts.CompactEvery) != 0 {
+		return
+	}
+	if g.maintSched != nil {
+		g.maintSched.Kick()
+		return
+	}
+	if g.compacting.TryLock() {
+		go func() {
+			defer g.compacting.Unlock()
+			g.compactOnce()
+		}()
 	}
 }

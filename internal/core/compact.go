@@ -12,40 +12,60 @@ import (
 // chains are pruned the same way. Compaction is vertex-wise and holds only
 // one vertex lock at a time, so interference with the foreground workload
 // is minimal — unlike an LSM tree, no multi-file merge ever runs.
+//
+// Production passes run on the background maintenance scheduler
+// (internal/maint, wired in maint.go): budgeted slices, morsel-parallel,
+// triggered by pressure. This file keeps the per-vertex mechanics both
+// paths share, the synchronous CompactNow façade, and the legacy
+// monolithic pass (Options.Maint.Legacy).
 
-// CompactNow runs one synchronous compaction pass (tests and benchmarks
-// call this; production passes are triggered automatically every
-// CompactEvery committed write transactions).
+// CompactNow runs one synchronous compaction pass and returns when the
+// dirty backlog observed at the request is drained and deferred blocks
+// past every pinned snapshot are reclaimed (vertices dirtied by writers
+// racing the pass wait for the next one — the pass is bounded, so
+// CompactNow terminates under any write load). With the background
+// scheduler running, the pass executes on the scheduler goroutine —
+// single-flight with background slices, so a concurrent
+// pressure-triggered pass and CompactNow never double-compact. Without
+// it (maintenance disabled or legacy mode), the pass runs inline under
+// the legacy mutex.
 func (g *Graph) CompactNow() {
+	if s := g.maintSched; s != nil {
+		s.RunPass()
+		return
+	}
 	g.compacting.Lock()
 	defer g.compacting.Unlock()
 	g.compactOnce()
 }
 
+// compactOnce is the legacy monolithic pass: drain the entire dirty set,
+// compact it single-threaded, reclaim. Caller holds g.compacting.
 func (g *Graph) compactOnce() {
-	// Swap out the dirty set.
-	g.dirtyMu.Lock()
-	dirty := g.dirty
-	g.dirty = make(map[VertexID]struct{})
-	g.dirtyMu.Unlock()
-
-	// visibleFloor: every ongoing transaction reads at >= MinActive and
-	// every future one at >= GRE, so a version invalidated at or before the
-	// floor is dead for everyone. HistoryRetention lowers the floor so
-	// temporal snapshots (SnapshotAt) can still read recent history.
+	dirty := g.dirty.Drain(int(g.dirty.Len()), nil)
 	floor := g.readers.MinActive(g.epochs.ReadEpoch()) - g.opts.HistoryRetention
-	h := g.alloc.NewHandle()
+	h := g.maintHandles[0]
 
-	for v := range dirty {
-		g.locks.Lock(uint64(v))
-		g.compactTELsLocked(v, floor, h)
-		g.pruneVertexChainLocked(v, floor)
-		g.locks.Unlock(uint64(v))
+	var c compactCounts
+	for _, d := range dirty {
+		g.locks.Lock(uint64(d.ID))
+		g.compactVertexLocked(VertexID(d.ID), floor, h, &c)
+		g.locks.Unlock(uint64(d.ID))
 	}
+	c.flush(&g.maintStats)
 	if len(dirty) > 0 {
 		g.stats.Compactions.Add(1)
+		g.maintStats.Passes.Add(1)
 	}
-	g.alloc.Reclaim(g.readers.MinActive(g.epochs.ReadEpoch()))
+	g.reclaimDeferred()
+}
+
+// compactVertexLocked compacts one vertex — its TELs and its version
+// chain. Caller holds the vertex lock.
+func (g *Graph) compactVertexLocked(v VertexID, floor int64, h *storage.Handle, c *compactCounts) {
+	c.vertices++
+	g.compactTELsLocked(v, floor, h, c)
+	g.pruneVertexChainLocked(v, floor, c)
 }
 
 // deadEntry reports whether entry i of t is invisible to every transaction
@@ -57,7 +77,7 @@ func deadEntry(t *tel.TEL, i int, floor int64) bool {
 	return inv >= 0 && inv <= floor
 }
 
-func (g *Graph) compactTELsLocked(v VertexID, floor int64, h *storage.Handle) {
+func (g *Graph) compactTELsLocked(v VertexID, floor int64, h *storage.Handle, c *compactCounts) {
 	ll := g.eindex.Get(int64(v))
 	if ll == nil {
 		return
@@ -69,6 +89,7 @@ func (g *Graph) compactTELsLocked(v VertexID, floor int64, h *storage.Handle) {
 	for _, e := range *entries {
 		t := e.tel.Load()
 		n := t.Len()
+		c.scanned += int64(n)
 		// First scan: count survivors and their property bytes.
 		live, liveProps := 0, 0
 		for i := 0; i < n; i++ {
@@ -80,6 +101,8 @@ func (g *Graph) compactTELsLocked(v VertexID, floor int64, h *storage.Handle) {
 		if live == n {
 			continue // nothing to reclaim
 		}
+		c.dead += int64(n - live)
+		c.copied += int64(live)
 		// Copy survivors into a right-sized block (possibly smaller — the
 		// paper: "sometimes the block could shrink after many edges being
 		// deleted").
@@ -101,10 +124,13 @@ func (g *Graph) compactTELsLocked(v VertexID, floor int64, h *storage.Handle) {
 
 // pruneVertexChainLocked drops vertex versions no transaction can still
 // see: everything older than the newest version with ts <= floor.
-func (g *Graph) pruneVertexChainLocked(v VertexID, floor int64) {
+func (g *Graph) pruneVertexChainLocked(v VertexID, floor int64, c *compactCounts) {
 	ver := g.vindex.Get(int64(v))
 	for ver != nil {
 		if ver.ts <= floor {
+			for cut := ver.prev; cut != nil; cut = cut.prev {
+				c.pruned++
+			}
 			ver.prev = nil
 			return
 		}

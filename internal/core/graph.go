@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"livegraph/internal/iosim"
+	"livegraph/internal/maint"
+	"livegraph/internal/metrics"
 	"livegraph/internal/mvcc"
 	"livegraph/internal/storage"
 	"livegraph/internal/tel"
@@ -44,8 +46,19 @@ type Options struct {
 
 	// CompactEvery triggers a compaction pass after this many committed
 	// write transactions. Defaults to 65536, the paper's setting.
-	// Negative disables compaction.
+	// Negative disables automatic compaction entirely (background
+	// scheduler included; CompactNow still compacts on demand). With the
+	// background maintenance engine (the default), the commit count is
+	// one pressure trigger among several — see Maint.
 	CompactEvery int
+
+	// Maint tunes the background maintenance engine: budgeted,
+	// morsel-parallel compaction passes run off the commit path by a
+	// scheduler (internal/maint), triggered by dirty-set size, the
+	// dead-bytes estimate, the CompactEvery commit count, and a
+	// wall-clock floor. The zero value selects the defaults;
+	// Maint.Legacy reverts to the monolithic inline pass.
+	Maint MaintOptions
 
 	// LockTimeout bounds vertex lock waits; timing out aborts the
 	// transaction (deadlock avoidance). Defaults to 50ms.
@@ -207,11 +220,18 @@ type Graph struct {
 	handleMu sync.Mutex
 	handles  []*storage.Handle // one pooled allocation handle per slot
 
-	// compaction
-	writeTxns  atomic.Int64
-	dirtyMu    sync.Mutex
-	dirty      map[VertexID]struct{}
-	compacting sync.Mutex
+	// maintenance: the sharded dirty set feeds the background scheduler;
+	// maintHandles are the per-worker allocation handles of one slice
+	// (slices are single-flight, so a fixed pool indexed by worker is
+	// race-free). compacting guards the legacy inline pass.
+	writeTxns    atomic.Int64
+	dirty        *maint.DirtySet
+	maintSched   *maint.Scheduler
+	maintStats   metrics.MaintStats
+	maintHandles []*storage.Handle
+	maintWorkers int
+	maintBuf     []maint.Dirty
+	compacting   sync.Mutex
 
 	// ckptMu serialises Checkpoint: overlapping checkpoints would race
 	// on segment rotation, pruning, and the CHECKPOINT meta file.
@@ -239,7 +259,7 @@ func Open(opts Options) (*Graph, error) {
 		alloc:   storage.NewAllocator(opts.SmallClassMax),
 		readers: mvcc.NewReaderTable(opts.Workers),
 		locks:   mvcc.NewLockTable(1 << 16),
-		dirty:   make(map[VertexID]struct{}),
+		dirty:   maint.NewDirtySet(0),
 	}
 	g.slots = make(chan int, opts.Workers)
 	g.handles = make([]*storage.Handle, opts.Workers)
@@ -265,6 +285,23 @@ func Open(opts Options) (*Graph, error) {
 		g.log.Store(l)
 	}
 	g.commit = newCommitter(g)
+
+	// Background maintenance: a budgeted, pressure-triggered scheduler
+	// owns compaction + reclamation (internal/maint). Disabled along with
+	// everything else by CompactEvery < 0; Maint.Legacy keeps the old
+	// inline every-CompactEvery pass instead.
+	g.maintWorkers = 1
+	if opts.CompactEvery >= 0 && !opts.Maint.Legacy {
+		g.maintSched = maint.New(opts.Maint.config(), maintRunner{g}, &g.maintStats)
+		g.maintWorkers = g.maintSched.Config().Workers
+	}
+	g.maintHandles = make([]*storage.Handle, g.maintWorkers)
+	for i := range g.maintHandles {
+		g.maintHandles[i] = g.alloc.NewHandle()
+	}
+	if g.maintSched != nil {
+		g.maintSched.Start()
+	}
 	return g, nil
 }
 
@@ -274,6 +311,11 @@ func (g *Graph) Close() error {
 		return nil
 	}
 	g.commit.stop()
+	if g.maintSched != nil {
+		// Drain: wait out the in-flight slice; remaining backlog is
+		// abandoned with the graph.
+		g.maintSched.Close()
+	}
 	if l := g.log.Load(); l != nil {
 		return l.Close()
 	}
@@ -373,13 +415,20 @@ func (g *Graph) forgetBlock(t *tel.TEL) {
 	}
 }
 
+// entryDeadBytes approximates the garbage one invalidated edge-log entry
+// leaves behind (its fixed words; property bytes are added by callers
+// that know them). Feeds the dead-bytes pressure trigger — an estimate,
+// not an accounting.
+const entryDeadBytes = 48
+
 // markDirty records that a vertex's blocks changed since the last
-// compaction (the paper's per-worker dirty vertex set; we keep one shared
-// set, which compaction swaps out wholesale).
-func (g *Graph) markDirty(v VertexID) {
-	g.dirtyMu.Lock()
-	g.dirty[v] = struct{}{}
-	g.dirtyMu.Unlock()
+// compaction (the paper's per-worker dirty vertex set; ours is one
+// lock-striped sharded set, so concurrent writers don't serialise on a
+// global mutex). dead estimates the bytes the change turned into garbage;
+// it accumulates into the scheduler's dead-bytes pressure gauge.
+func (g *Graph) markDirty(v VertexID, dead int64) {
+	g.dirty.Mark(int64(v), dead)
+	g.maintNotify()
 }
 
 // acquireSlot blocks until a worker slot is free. Slots bound concurrent

@@ -201,3 +201,39 @@ func TestReaderAgreementUnderWrites(t *testing.T) {
 		}
 	}
 }
+
+// TestReaderConformanceAggressiveMaint builds the fixture on a graph
+// whose background maintenance fires constantly, layers churn on top so
+// passes actually compact, and then runs the full battery against both
+// Reader implementations: maintenance must be invisible to the read
+// surface.
+func TestReaderConformanceAggressiveMaint(t *testing.T) {
+	g, err := Open(Options{Maint: aggressiveMaint()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	f := buildReaderFixtureOn(t, g)
+	// Churn on vertices outside the fixture so compaction has garbage to
+	// chew through while the battery runs.
+	var hub VertexID
+	mustCommit(t, g, func(tx *Tx) { hub, _ = tx.AddVertex(nil) })
+	for i := 0; i < 100; i++ {
+		mustCommit(t, g, func(tx *Tx) { tx.AddEdge(hub, 9, f.a, []byte{byte(i)}) })
+	}
+	waitMaint(t, g, "background pass", func() bool { return g.MaintStats().Passes.Load() >= 1 })
+
+	tx, err := g.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Commit()
+	runReaderConformance(t, f, tx)
+
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	runReaderConformance(t, f, snap)
+}

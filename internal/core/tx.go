@@ -378,7 +378,9 @@ func (tx *Tx) InsertEdge(src VertexID, label Label, dst VertexID, props []byte) 
 	tx.appendEdge(w, dst, props)
 	b := tx.walShard(src)
 	*b = appendEdgeOp(*b, opInsertEdge, src, label, dst, props)
-	tx.g.markDirty(src)
+	// A true insertion creates no garbage; the mark only queues the
+	// vertex for right-sizing and chain pruning.
+	tx.g.markDirty(src, 0)
 	return nil
 }
 
@@ -393,13 +395,19 @@ func (tx *Tx) AddEdge(src VertexID, label Label, dst VertexID, props []byte) err
 	if err != nil {
 		return err
 	}
-	if err := tx.invalidatePrev(w, dst); err != nil && err != ErrNotFound {
+	var dead int64
+	if err := tx.invalidatePrev(w, dst); err == nil {
+		// The upsert invalidated a prior version: estimate its garbage
+		// with the new property size (upserts tend to rewrite
+		// similar-sized payloads).
+		dead = entryDeadBytes + int64(len(props))
+	} else if err != ErrNotFound {
 		return err
 	}
 	tx.appendEdge(w, dst, props)
 	b := tx.walShard(src)
 	*b = appendEdgeOp(*b, opUpsertEdge, src, label, dst, props)
-	tx.g.markDirty(src)
+	tx.g.markDirty(src, dead)
 	return nil
 }
 
@@ -418,7 +426,7 @@ func (tx *Tx) DeleteEdge(src VertexID, label Label, dst VertexID) error {
 	}
 	b := tx.walShard(src)
 	*b = appendEdgeOp(*b, opDeleteEdge, src, label, dst, nil)
-	tx.g.markDirty(src)
+	tx.g.markDirty(src, entryDeadBytes)
 	return nil
 }
 

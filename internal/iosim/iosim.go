@@ -248,17 +248,35 @@ func (d *Device) Stats() DeviceStats {
 // one page per storage block). Touch returns true on a hit; on a miss it
 // charges the backing device a read fault for the page size and admits the
 // page, evicting LRU pages to stay under the cap.
+//
+// The cache is lock-striped: pages hash across up to maxCacheShards
+// independent LRU shards, each guarded by its own mutex and holding an
+// equal slice of the byte budget, so concurrent traversal workers don't
+// serialise on one cache lock. Aggregate semantics are preserved — total
+// resident bytes never exceed the cap, and hit/miss counters span all
+// shards. Small caps (under one page-cache shard's worth of budget per
+// stripe) collapse to a single shard, which keeps exact global LRU order
+// where it is observable.
 type PageCache struct {
-	dev *Device
-	cap int64
+	dev    *Device
+	shards []cacheShard
+	mask   uint64
 
-	mu       sync.Mutex
-	resident map[uint64]*list.Element // page id -> lru element
-	lru      *list.List               // front = most recent
-	used     int64
+	// unlimited short-circuits Touch entirely when the cap is <= 0
+	// (in-memory mode: every touch hits, no lock taken).
+	unlimited atomic.Bool
 
 	hits   atomic.Int64
 	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	cap      int64
+	resident map[uint64]*list.Element // page id -> lru element
+	lru      *list.List               // front = most recent
+	used     int64
+	_        [4]int64 // keep neighboring shard locks off one cache line
 }
 
 type cachePage struct {
@@ -266,74 +284,136 @@ type cachePage struct {
 	size int64
 }
 
+const (
+	// maxCacheShards bounds the stripe fan-out; past the typical worker
+	// counts more stripes only shrink each shard's LRU horizon.
+	maxCacheShards = 8
+	// minShardBytes is the least budget worth giving a stripe of its
+	// own (64 four-KiB pages). Caps below shards*minShardBytes use
+	// fewer stripes, down to one — exact LRU — for tiny caches.
+	minShardBytes = 64 * 4096
+)
+
+// cacheShardsFor picks the stripe count for an initial byte budget:
+// the largest power of two <= maxCacheShards whose shards each get at
+// least minShardBytes. Unlimited caches take the maximum (the cap may
+// shrink later via SetCap; an unlimited cache never locks anyway).
+func cacheShardsFor(capBytes int64) int {
+	if capBytes <= 0 {
+		return maxCacheShards
+	}
+	n := 1
+	for n*2 <= maxCacheShards && int64(n*2)*minShardBytes <= capBytes {
+		n *= 2
+	}
+	return n
+}
+
 // NewPageCache creates a cache with capBytes of simulated resident memory
 // backed by dev. capBytes <= 0 means unlimited (in-memory mode: every touch
 // hits).
 func NewPageCache(dev *Device, capBytes int64) *PageCache {
-	return &PageCache{dev: dev, cap: capBytes, resident: make(map[uint64]*list.Element), lru: list.New()}
+	n := cacheShardsFor(capBytes)
+	c := &PageCache{dev: dev, shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].resident = make(map[uint64]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	c.setCap(capBytes)
+	return c
+}
+
+// shardOf maps a page id to its stripe. The splitmix finalizer spreads
+// the sequential page ids a scan touches across stripes, so concurrent
+// scans contend only 1/nth of the time.
+func (c *PageCache) shardOf(id uint64) *cacheShard {
+	id += 0x9e3779b97f4a7c15
+	id = (id ^ (id >> 30)) * 0xbf58476d1ce4e5b9
+	return &c.shards[(id^(id>>27))&c.mask]
 }
 
 // Touch accesses page id of the given size. Returns true on a hit.
 func (c *PageCache) Touch(id uint64, size int64) bool {
-	if c.cap <= 0 {
+	if c.unlimited.Load() {
 		c.hits.Add(1)
 		return true
 	}
-	c.mu.Lock()
-	if el, ok := c.resident[id]; ok {
-		c.lru.MoveToFront(el)
-		c.mu.Unlock()
+	s := c.shardOf(id)
+	s.mu.Lock()
+	if el, ok := s.resident[id]; ok {
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
 		c.hits.Add(1)
 		return true
 	}
 	// Admit, evicting as needed.
-	for c.used+size > c.cap && c.lru.Len() > 0 {
-		back := c.lru.Back()
-		pg := back.Value.(cachePage)
-		c.lru.Remove(back)
-		delete(c.resident, pg.id)
-		c.used -= pg.size
-	}
-	c.resident[id] = c.lru.PushFront(cachePage{id: id, size: size})
-	c.used += size
-	c.mu.Unlock()
+	s.admitLocked(id, size)
+	s.mu.Unlock()
 	c.misses.Add(1)
 	c.dev.ReadFault(int(size))
 	return false
+}
+
+func (s *cacheShard) admitLocked(id uint64, size int64) {
+	for s.used+size > s.cap && s.lru.Len() > 0 {
+		back := s.lru.Back()
+		pg := back.Value.(cachePage)
+		s.lru.Remove(back)
+		delete(s.resident, pg.id)
+		s.used -= pg.size
+	}
+	s.resident[id] = s.lru.PushFront(cachePage{id: id, size: size})
+	s.used += size
 }
 
 // SetCap changes the resident-set budget, evicting LRU pages if the new
 // cap is smaller. Used when the budget is a fraction of a footprint only
 // known after loading (the paper sizes its cgroup cap at 16% of
 // LiveGraph's measured usage).
-func (c *PageCache) SetCap(capBytes int64) {
-	c.mu.Lock()
-	c.cap = capBytes
-	if capBytes > 0 {
-		for c.used > capBytes && c.lru.Len() > 0 {
-			back := c.lru.Back()
-			pg := back.Value.(cachePage)
-			c.lru.Remove(back)
-			delete(c.resident, pg.id)
-			c.used -= pg.size
-		}
+func (c *PageCache) SetCap(capBytes int64) { c.setCap(capBytes) }
+
+func (c *PageCache) setCap(capBytes int64) {
+	if capBytes <= 0 {
+		c.unlimited.Store(true)
+		return
 	}
-	c.mu.Unlock()
+	// The budget splits evenly across stripes; every stripe keeps at
+	// least one byte of budget so a tiny cap still evicts rather than
+	// reading as "unlimited".
+	per := capBytes / int64(len(c.shards))
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.cap = per
+		for s.used > per && s.lru.Len() > 0 {
+			back := s.lru.Back()
+			pg := back.Value.(cachePage)
+			s.lru.Remove(back)
+			delete(s.resident, pg.id)
+			s.used -= pg.size
+		}
+		s.mu.Unlock()
+	}
+	c.unlimited.Store(false)
 }
 
 // Forget drops page id from the resident set (e.g. the block was freed).
 func (c *PageCache) Forget(id uint64) {
-	if c.cap <= 0 {
+	if c.unlimited.Load() {
 		return
 	}
-	c.mu.Lock()
-	if el, ok := c.resident[id]; ok {
+	s := c.shardOf(id)
+	s.mu.Lock()
+	if el, ok := s.resident[id]; ok {
 		pg := el.Value.(cachePage)
-		c.lru.Remove(el)
-		delete(c.resident, id)
-		c.used -= pg.size
+		s.lru.Remove(el)
+		delete(s.resident, id)
+		s.used -= pg.size
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // CacheStats is a snapshot of hit/miss counters.
@@ -342,10 +422,14 @@ type CacheStats struct {
 	ResidentBytes int64
 }
 
-// Stats returns cache counters.
+// Stats returns cache counters, aggregated across all shards.
 func (c *PageCache) Stats() CacheStats {
-	c.mu.Lock()
-	used := c.used
-	c.mu.Unlock()
+	var used int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		used += s.used
+		s.mu.Unlock()
+	}
 	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), ResidentBytes: used}
 }

@@ -212,3 +212,71 @@ func TestCrashBudgetSharedAcrossChannels(t *testing.T) {
 		t.Fatal("crash not visible on all channels")
 	}
 }
+
+func TestPageCacheShardedAggregateCap(t *testing.T) {
+	// Large cap => multiple LRU shards. The aggregate invariant must
+	// hold regardless of which shards pages hash to.
+	const cap = 8 * minShardBytes
+	c := NewPageCache(NewDevice(Null), cap)
+	if got := len(c.shards); got != maxCacheShards {
+		t.Fatalf("shards = %d, want %d", got, maxCacheShards)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		c.Touch(i, 4096)
+	}
+	if s := c.Stats(); s.ResidentBytes > cap {
+		t.Fatalf("resident %d exceeds aggregate cap %d", s.ResidentBytes, cap)
+	}
+	// SetCap(1) is the evict-everything reset the benches use.
+	c.SetCap(1)
+	for i := uint64(0); i < 100; i++ {
+		c.Touch(i, 4096)
+	}
+	if s := c.Stats(); s.ResidentBytes > int64(len(c.shards))*4096 {
+		t.Fatalf("resident %d after SetCap(1)", s.ResidentBytes)
+	}
+}
+
+func TestPageCacheTinyCapSingleShard(t *testing.T) {
+	// Caps too small to split keep one stripe — exact global LRU.
+	if n := len(NewPageCache(NewDevice(Null), 300).shards); n != 1 {
+		t.Fatalf("tiny cache has %d shards, want 1", n)
+	}
+	if n := len(NewPageCache(NewDevice(Null), 2*minShardBytes).shards); n != 2 {
+		t.Fatalf("2-stripe budget gave %d shards", n)
+	}
+}
+
+func TestPageCacheShardedConcurrentTouch(t *testing.T) {
+	// The lock-striped cache under concurrent touch/forget/stats from
+	// many goroutines: run with -race; also check the aggregate cap and
+	// hit+miss accounting afterwards.
+	const cap = 8 * minShardBytes
+	c := NewPageCache(NewDevice(Null), cap)
+	var wg sync.WaitGroup
+	const goroutines, ops = 8, 4000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				id := uint64(g*1000 + i%700)
+				c.Touch(id, 4096)
+				if i%97 == 0 {
+					c.Forget(id)
+				}
+				if i%193 == 0 {
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.ResidentBytes > cap {
+		t.Fatalf("cap violated: %d > %d", s.ResidentBytes, cap)
+	}
+	if s.Hits+s.Misses != goroutines*ops {
+		t.Fatalf("hits %d + misses %d != %d touches", s.Hits, s.Misses, goroutines*ops)
+	}
+}

@@ -161,6 +161,28 @@ func (r *ReplStats) LagEpochs() int64 {
 	return lag
 }
 
+// MaintStats tracks the background maintenance engine (budgeted,
+// morsel-parallel compaction + epoch-based reclamation), shared between
+// internal/maint's scheduler, the core compaction slices, the /v1/stats
+// endpoint and lgbench. All fields are atomic; the zero value is ready.
+type MaintStats struct {
+	Passes        atomic.Int64 // maintenance passes completed (dirty set drained)
+	Slices        atomic.Int64 // budgeted slices executed
+	SlicesYielded atomic.Int64 // slices that hit their time budget and yielded work back
+
+	VerticesCompacted atomic.Int64 // dirty vertices compacted
+	EntriesScanned    atomic.Int64 // TEL entries examined
+	EntriesCopied     atomic.Int64 // entries copied into right-sized blocks
+	EntriesDead       atomic.Int64 // entries dropped as invisible to every reader
+	VersionsPruned    atomic.Int64 // vertex versions cut from version chains
+
+	BlocksReclaimed atomic.Int64 // deferred blocks recycled past pinned snapshots
+	BytesReclaimed  atomic.Int64 // bytes those blocks returned to the free lists
+
+	PassNanos     atomic.Int64 // total wall time spent inside passes
+	LastPassNanos atomic.Int64 // duration of the most recent pass
+}
+
 // Result is one benchmark measurement: a latency distribution plus the
 // wall-clock throughput it was achieved at.
 type Result struct {

@@ -298,3 +298,97 @@ func TestShipperClose(t *testing.T) {
 		t.Fatalf("%d streams still open after Close", n)
 	}
 }
+
+// TestFollowerFootprintBounded is the replica-reclamation fix end to end:
+// a sustained upsert churn on the primary (live state constant, garbage
+// linear in time) streams to a follower whose background maintenance is
+// tuned aggressively. Without follower-side compaction the replica's
+// allocator footprint grows with every applied version; with the
+// maintenance engine it must stay within a small factor of the primary's
+// compacted footprint.
+func TestFollowerFootprintBounded(t *testing.T) {
+	primary, err := core.Open(core.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	ps := server.New(primary)
+	hs := httptest.NewServer(ps)
+	defer hs.Close()
+	client := server.NewClient(hs.URL)
+
+	follower, err := core.Open(core.Options{Maint: core.MaintOptions{
+		SliceVertices:    16,
+		SliceBudget:      100 * time.Microsecond,
+		Yield:            10 * time.Microsecond,
+		Interval:         2 * time.Millisecond,
+		DirtyTrigger:     8,
+		DeadBytesTrigger: 1024,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	ap := repl.NewApplier(follower, hs.URL)
+	ap.ReconnectBase = time.Millisecond
+	runCtx, stopStream := context.WithCancel(context.Background())
+	defer stopStream()
+	apDone := make(chan error, 1)
+	go func() { apDone <- ap.Run(runCtx) }()
+
+	// Churn: the same 32 (src,dst) pairs upserted round after round.
+	const slots, rounds = 32, 120
+	for r := 0; r < rounds; r++ {
+		ops := make([]server.Op, 0, slots)
+		for s := 0; s < slots; s++ {
+			ops = append(ops, server.Op{Op: "upsertEdge", Src: int64(s % 4), Label: 0, Dst: int64(10 + s), Props: []byte{byte(r)}})
+		}
+		if _, err := client.Tx(ops...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCatchUp(t, primary, follower, 30*time.Second)
+
+	// Give the follower's scheduler a beat to drain its backlog, then
+	// compare steady-state footprints. The primary compacts on demand;
+	// the follower must have compacted on its own (no CompactNow here).
+	// Each wait phase gets its own deadline so a slow host eating the
+	// first wait cannot starve the second.
+	deadline := time.Now().Add(10 * time.Second)
+	for follower.MaintStats().Passes.Load() == 0 || follower.MaintStats().VerticesCompacted.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower ran no maintenance passes (stats: %d passes)", follower.MaintStats().Passes.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	primary.CompactNow()
+	pw := primary.AllocStats().AllocatedWords
+	// Poll: background slices may still be catching the churn's tail.
+	deadline = time.Now().Add(10 * time.Second)
+	var fw int64
+	for {
+		fw = follower.AllocStats().AllocatedWords
+		if fw <= 4*pw || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fw > 4*pw {
+		t.Fatalf("follower footprint %d words vs primary %d words: replica not reclaiming", fw, pw)
+	}
+
+	// The live state must be intact on the follower.
+	waitCatchUp(t, primary, follower, 10*time.Second)
+	snap, err := follower.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	for s := int64(0); s < 4; s++ {
+		if d := snap.Degree(core.VertexID(s), 0); d != slots/4 {
+			t.Fatalf("follower degree(src %d) = %d, want %d", s, d, slots/4)
+		}
+	}
+	stopStream()
+	<-apDone
+}

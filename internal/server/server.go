@@ -564,6 +564,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"appliedEpoch":     s.G.ReadEpoch(),
 		"walAppendedBytes": s.G.WALAppendedBytes(),
 	}
+	// Background maintenance (the budgeted compaction scheduler): how
+	// much it has done and what it cost, so operators can see reclamation
+	// keeping up — on followers too, where no client ever calls compact.
+	mt := s.G.MaintStats()
+	out["maintPasses"] = mt.Passes.Load()
+	out["maintSlices"] = mt.Slices.Load()
+	out["maintSlicesYielded"] = mt.SlicesYielded.Load()
+	out["maintVerticesCompacted"] = mt.VerticesCompacted.Load()
+	out["maintEntriesScanned"] = mt.EntriesScanned.Load()
+	out["maintEntriesCopied"] = mt.EntriesCopied.Load()
+	out["maintEntriesDead"] = mt.EntriesDead.Load()
+	out["maintVersionsPruned"] = mt.VersionsPruned.Load()
+	out["maintBlocksReclaimed"] = mt.BlocksReclaimed.Load()
+	out["maintBytesReclaimed"] = mt.BytesReclaimed.Load()
+	out["maintPassNanos"] = mt.PassNanos.Load()
+	out["maintLastPassNanos"] = mt.LastPassNanos.Load()
+	dirty, dead := s.G.MaintPressure()
+	out["maintDirtyPending"] = dirty
+	out["maintDeadBytesEst"] = dead
 	if s.Shipper != nil {
 		out["replStreams"] = s.Shipper.Stats.StreamsOpen.Load()
 		out["replStreamedGroups"] = s.Shipper.Stats.StreamedGroups.Load()

@@ -255,25 +255,25 @@ func (a *Allocator) DeferFree(b *Block, epoch int64) {
 }
 
 // Reclaim moves all deferred blocks whose epoch is < minActive into the
-// shared free lists and reports how many were reclaimed. minActive is the
-// minimum read epoch of any in-flight transaction (or the global read epoch
-// if none is active).
-func (a *Allocator) Reclaim(minActive int64) int {
+// shared free lists and reports how many blocks (and how many arena
+// words) were reclaimed. minActive is the minimum read epoch of any
+// in-flight transaction (or the global read epoch if none is active).
+func (a *Allocator) Reclaim(minActive int64) (blocks int, words int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	kept := a.deferred[:0]
-	n := 0
 	for _, d := range a.deferred {
 		if d.epoch < minActive {
 			a.shared[d.b.Class] = append(a.shared[d.b.Class], d.b)
 			a.noteFreeLocked(d.b, -1)
-			n++
+			blocks++
+			words += int64(len(d.b.Words))
 		} else {
 			kept = append(kept, d)
 		}
 	}
 	a.deferred = kept
-	return n
+	return blocks, words
 }
 
 // PendingDeferred reports how many blocks are awaiting reclamation.

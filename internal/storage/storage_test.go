@@ -103,14 +103,18 @@ func TestDeferFreeReclaim(t *testing.T) {
 	h := a.NewHandle()
 	b := h.Alloc(3)
 	h.DeferFree(b, 10)
-	if n := a.Reclaim(10); n != 0 {
+	if n, _ := a.Reclaim(10); n != 0 {
 		t.Fatalf("epoch 10 still visible at minActive 10, reclaimed %d", n)
 	}
 	if a.PendingDeferred() != 1 {
 		t.Fatal("block should still be pending")
 	}
-	if n := a.Reclaim(11); n != 1 {
+	n, words := a.Reclaim(11)
+	if n != 1 {
 		t.Fatalf("want 1 reclaimed, got %d", n)
+	}
+	if want := int64(WordCap(3)); words != want {
+		t.Fatalf("reclaimed words = %d, want %d", words, want)
 	}
 	if a.PendingDeferred() != 0 {
 		t.Fatal("no blocks should be pending")
