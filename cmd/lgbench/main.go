@@ -38,6 +38,7 @@ func main() {
 		prIters    = flag.Int("pr-iters", 20, "PageRank iterations")
 		workers    = flag.Int("workers", 8, "analytics worker threads")
 		walShards  = flag.Int("wal-shards", 1, "WAL shards for durable experiments (parallel group-commit fan-out)")
+		backendF   = flag.String("backend", "iosim", "storage backend for durable experiments: iosim (simulated device timing) or disk (real mmap segments + fsync)")
 		travScale  = flag.Int("trav-scale", 15, "traversal experiment graph scale (2^scale vertices, avg degree 4)")
 		travOps    = flag.Int("trav-ops", 20, "traversal experiment runs per configuration")
 		maintEvery = flag.Int("maint-compact-every", 2048, "maintenance experiment commit-count compaction cadence")
@@ -73,6 +74,13 @@ func main() {
 	cfg.TravScale = *travScale
 	cfg.TravOps = *travOps
 	cfg.MaintCompactEvery = *maintEvery
+	switch *backendF {
+	case "iosim", "disk":
+		cfg.Backend = *backendF
+	default:
+		fmt.Fprintf(os.Stderr, "lgbench: unknown backend %q (iosim or disk)\n", *backendF)
+		os.Exit(2)
+	}
 
 	// Non-nil so an experiment recording nothing still writes [], not null.
 	results := []bench.Metric{}

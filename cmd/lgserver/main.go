@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"livegraph/internal/core"
+	"livegraph/internal/disk"
 	"livegraph/internal/iosim"
 	"livegraph/internal/repl"
 	"livegraph/internal/server"
@@ -39,7 +40,8 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":7450", "listen address")
 		dir       = flag.String("dir", "", "data directory (empty = volatile in-memory)")
-		device    = flag.String("device", "null", "simulated persistence device: null, optane, nand")
+		device    = flag.String("device", "null", "simulated persistence device: null, optane, nand (iosim backend only)")
+		backendF  = flag.String("backend", "iosim", "storage backend: iosim (simulated device timing) or disk (real mmap segments + fsync; needs -dir)")
 		workers   = flag.Int("workers", 256, "max concurrent transactions")
 		history   = flag.Int64("history", 0, "temporal history retention (epochs)")
 		walShards = flag.Int("wal-shards", 1, "WAL shards (parallel group-commit fan-out; needs -dir)")
@@ -60,6 +62,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lgserver: unknown device %q\n", *device)
 		os.Exit(2)
 	}
+	var backend disk.Backend // nil = core's default iosim-backed sim
+	switch *backendF {
+	case "iosim":
+	case "disk":
+		backend = disk.NewReal()
+	default:
+		fmt.Fprintf(os.Stderr, "lgserver: unknown backend %q (iosim or disk)\n", *backendF)
+		os.Exit(2)
+	}
 	if *follow != "" && *dir != "" {
 		// The replica's state is a pure function of the primary's log;
 		// its own WAL would immediately diverge on restart resync.
@@ -70,6 +81,7 @@ func main() {
 	g, err := core.Open(core.Options{
 		Dir:              *dir,
 		Device:           iosim.NewDevice(prof),
+		Backend:          backend,
 		Workers:          *workers,
 		HistoryRetention: *history,
 		WALShards:        *walShards,
@@ -119,7 +131,7 @@ func main() {
 	case *follow != "":
 		mode = "replica of " + *follow + ", in-memory"
 	case *dir != "":
-		mode = "durable at " + *dir
+		mode = "durable at " + *dir + " (" + *backendF + " backend)"
 	}
 	log.Printf("lgserver: serving %s graph on %s (device %s)", mode, *addr, prof.Name)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -12,6 +12,8 @@ package bench
 import (
 	"fmt"
 	"io"
+
+	"livegraph/internal/disk"
 )
 
 // Config parameterises all experiments.
@@ -53,6 +55,12 @@ type Config struct {
 	// default of 65536 never fires at laptop scale).
 	MaintCompactEvery int
 
+	// Backend selects the storage backend for the durable experiments:
+	// "iosim" (default) keeps the simulated device timing model the paper
+	// comparisons use, "disk" runs the real mmap segment backend with
+	// fsync — actual hardware numbers, crash-consistent on this machine.
+	Backend string
+
 	// Record, when non-nil, receives every machine-readable measurement an
 	// experiment emits alongside its printed rows; lgbench's -json flag
 	// wires this to a results file (BENCH_*.json).
@@ -90,7 +98,27 @@ func Default(out io.Writer) Config {
 		WALShards: 1,
 		TravScale: 15, TravOps: 20,
 		MaintCompactEvery: 2048,
+		Backend:           "iosim",
 	}
+}
+
+// backend maps the Backend name to a disk.Backend for core.Options. It
+// returns nil for "iosim" so core's default — disk.NewSim over whatever
+// Device the experiment configured — applies; experiments that pass a
+// specific iosim Device keep its timing model that way.
+func (cfg Config) backend() disk.Backend {
+	if cfg.Backend == "disk" {
+		return disk.NewReal()
+	}
+	return nil
+}
+
+// backendName normalises the Backend field for display and metric names.
+func (cfg Config) backendName() string {
+	if cfg.Backend == "" {
+		return "iosim"
+	}
+	return cfg.Backend
 }
 
 // Experiment is a runnable reproduction of one table or figure.
@@ -122,6 +150,7 @@ func Experiments() []Experiment {
 		{"trav", "Morsel-driven parallel traversal: two-hop throughput vs worker-pool width", TraverseSweep},
 		{"repl", "WAL-shipping replication: follower apply throughput and staleness lag", Replication},
 		{"maint", "Background maintenance: budgeted scheduler vs legacy inline pass vs off", Maint},
+		{"commit", "Commit path: durable group-commit throughput/latency by WAL shards and storage backend", Commit},
 	}
 }
 

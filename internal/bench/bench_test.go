@@ -23,8 +23,8 @@ func tiny(out io.Writer) Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Fatalf("%d experiments registered, want 19 (one per table/figure plus trav, repl and maint)", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("%d experiments registered, want 20 (one per table/figure plus trav, repl, maint and commit)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -136,7 +136,7 @@ func BuildSystems(cfg Config, prof iosim.Profile, ooc bool) ([]System, []kron.Ed
 
 	// LiveGraph.
 	dev := iosim.NewDevice(prof)
-	opts := core.Options{Device: dev, Workers: 512, WALShards: cfg.WALShards}
+	opts := core.Options{Device: dev, Backend: cfg.backend(), Workers: 512, WALShards: cfg.WALShards}
 	var lgCache *iosim.PageCache
 	if ooc {
 		// Build with an effectively unlimited resident set; the real cap
@@ -382,7 +382,7 @@ func Ckpt(cfg Config) {
 	if err != nil {
 		panic(err)
 	}
-	g, err := core.Open(core.Options{Dir: dir, Device: iosim.NewDevice(iosim.NAND), Workers: 512, WALShards: cfg.WALShards})
+	g, err := core.Open(core.Options{Dir: dir, Device: iosim.NewDevice(iosim.NAND), Backend: cfg.backend(), Workers: 512, WALShards: cfg.WALShards})
 	if err != nil {
 		panic(err)
 	}

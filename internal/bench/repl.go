@@ -39,7 +39,7 @@ func Replication(cfg Config) {
 		panic(err)
 	}
 	defer os.RemoveAll(dir)
-	primary, err := core.Open(core.Options{Dir: dir, Workers: 256, WALShards: cfg.WALShards})
+	primary, err := core.Open(core.Options{Dir: dir, Backend: cfg.backend(), Workers: 256, WALShards: cfg.WALShards})
 	if err != nil {
 		panic(err)
 	}

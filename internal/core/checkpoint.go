@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -16,6 +17,25 @@ import (
 )
 
 var ckptMagic = []byte("LGCKPT1\n")
+
+// ckptCrashHook, when set (crash-matrix tests only), is invoked at each
+// named stage of the checkpoint swap protocol. Returning an error aborts
+// the checkpoint at exactly that point — the iosim equivalent of dying
+// there — and the real-backend tests os.Exit inside the hook instead.
+// Stages, in protocol order:
+//
+//	snap-tmp     snapshot streamed to ckpt-E.snap.tmp; final path untouched
+//	snap-durable snapshot renamed into place and durable; meta still old
+//	meta-durable CHECKPOINT points at the new snapshot; prune not started
+//	pruned       superseded segments and old snapshots removed
+var ckptCrashHook func(stage string) error
+
+func ckptStage(stage string) error {
+	if ckptCrashHook != nil {
+		return ckptCrashHook(stage)
+	}
+	return nil
+}
 
 // Checkpoint dumps the latest consistent snapshot to a checkpoint file in
 // the graph's directory, records it as the recovery root, and prunes WAL
@@ -28,6 +48,14 @@ func (g *Graph) Checkpoint() error {
 	}
 	g.ckptMu.Lock()
 	defer g.ckptMu.Unlock()
+	// Eligibility: if the read epoch hasn't moved past the last completed
+	// checkpoint, no commit group has been published since it — there is
+	// nothing new to capture, and rewriting an identical snapshot (plus a
+	// WAL rotation) would be pure write amplification. The dirty counter
+	// resets below so DirtySinceCheckpoint tracks the same boundary.
+	if g.epochs.ReadEpoch() == g.lastCkptEpoch.Load() {
+		return nil
+	}
 	// Compact before dumping: draining the dirty set drops dead entries
 	// and right-sizes blocks, so the snapshot file only carries live
 	// state. A full pass holds one vertex lock at a time, so foreground
@@ -65,6 +93,9 @@ func (g *Graph) Checkpoint() error {
 	if err := g.writeCheckpoint(path, epoch, snap); err != nil {
 		return err
 	}
+	if err := ckptStage("snap-durable"); err != nil {
+		return err
+	}
 	// The rotation point was quiescent (GRE == GWE), so every shard is
 	// superseded up to the same epoch; the meta still records it per
 	// shard, the shape an incremental checkpointer needs. MinWALSeq
@@ -79,19 +110,27 @@ func (g *Graph) Checkpoint() error {
 	if err := wal.WriteCheckpointMeta(g.opts.Dir, meta); err != nil {
 		return err
 	}
+	if err := ckptStage("meta-durable"); err != nil {
+		return err
+	}
+	// The checkpoint is the recovery root now; reset the eligibility
+	// gauges before the best-effort prune (a crash below re-prunes on
+	// recovery, it does not re-checkpoint).
+	g.lastCkptEpoch.Store(epoch)
+	g.dirtySinceCkpt.Store(0)
 	// Prune superseded segments and older checkpoints.
 	for _, s := range oldSegs {
-		os.Remove(s)
+		g.opts.Backend.Remove(s)
 	}
 	g.pruneOldCheckpoints(path)
-	return nil
+	return ckptStage("pruned")
 }
 
 func (g *Graph) pruneOldCheckpoints(keep string) {
 	matches, _ := filepath.Glob(filepath.Join(g.opts.Dir, "ckpt-*.snap"))
 	for _, m := range matches {
 		if m != keep {
-			os.Remove(m)
+			g.opts.Backend.Remove(m)
 		}
 	}
 }
@@ -109,7 +148,7 @@ func (g *Graph) rotateWALLocked() ([]string, error) {
 		return nil, err
 	}
 	g.walSeq++
-	l, err := wal.OpenSharded(g.opts.Dir, g.walSeq, g.opts.WALShards, g.opts.Device)
+	l, err := wal.OpenSharded(g.opts.Dir, g.walSeq, g.opts.WALShards, g.opts.Backend)
 	if err != nil {
 		return nil, err
 	}
@@ -125,18 +164,23 @@ func (g *Graph) rotateWALLocked() ([]string, error) {
 	return old, nil
 }
 
-// writeCheckpoint streams the snapshot to path. Format:
+// writeCheckpoint streams the snapshot to path under the backend's
+// crash-atomic swap protocol: the bytes land in `<path>.tmp`, and only
+// Commit (fsync tmp → rename → fsync dir) makes them visible under the
+// final name. The earlier os.Create-at-final-path version could leave a
+// half-written ckpt-E.snap that a crash-recovered CHECKPOINT pointer
+// would then trust. Format:
 //
 //	magic, epoch, nextVertexID,
 //	then per existing vertex: id, flags, data, numLabels,
 //	  per label: label, numEdges, per edge: dst, propLen, props
 //	terminated by id = -1.
 func (g *Graph) writeCheckpoint(path string, epoch int64, snap *Snapshot) error {
-	f, err := os.Create(path)
+	af, err := g.opts.Backend.CreateAtomic(path)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriterSize(f, 1<<20)
+	w := bufio.NewWriterSize(af, 1<<20)
 	w.Write(ckptMagic)
 	var scratch [binary.MaxVarintLen64]byte
 	putV := func(x int64) {
@@ -146,7 +190,6 @@ func (g *Graph) writeCheckpoint(path string, epoch int64, snap *Snapshot) error 
 	putV(epoch)
 	nv := snap.NumVertices()
 	putV(nv)
-	written := int64(len(ckptMagic))
 	for v := int64(0); v < nv; v++ {
 		data, ok := snap.VertexData(VertexID(v))
 		ll := g.eindex.Get(v)
@@ -183,21 +226,15 @@ func (g *Graph) writeCheckpoint(path string, epoch int64, snap *Snapshot) error 
 	}
 	putV(-1)
 	if err := w.Flush(); err != nil {
-		f.Close()
+		af.Abort()
 		return err
 	}
-	if st, err := f.Stat(); err == nil {
-		written = st.Size()
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
+	if err := ckptStage("snap-tmp"); err != nil {
+		// Simulated crash: leave the temp file exactly as a real crash
+		// would — present, unrenamed, for recovery's stray-tmp sweep.
 		return err
 	}
-	if g.opts.Device != nil {
-		g.opts.Device.Write(int(written))
-		g.opts.Device.Sync()
-	}
-	return f.Close()
+	return af.Commit()
 }
 
 // loadCheckpoint rebuilds graph state from a checkpoint file, stamping
@@ -210,7 +247,7 @@ func (g *Graph) loadCheckpoint(path string, epoch int64) error {
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<20)
 	magic := make([]byte, len(ckptMagic))
-	if _, err := readFull(r, magic); err != nil || string(magic) != string(ckptMagic) {
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != string(ckptMagic) {
 		return fmt.Errorf("livegraph: bad checkpoint magic in %s", path)
 	}
 	getV := func() (int64, error) { return binary.ReadVarint(r) }
@@ -244,7 +281,7 @@ func (g *Graph) loadCheckpoint(path string, epoch int64) error {
 			return err
 		}
 		data := make([]byte, dl)
-		if _, err := readFull(r, data); err != nil {
+		if _, err := io.ReadFull(r, data); err != nil {
 			return err
 		}
 		if flags&1 == 0 {
@@ -273,25 +310,13 @@ func (g *Graph) loadCheckpoint(path string, epoch int64) error {
 					return err
 				}
 				props := make([]byte, pl)
-				if _, err := readFull(r, props); err != nil {
+				if _, err := io.ReadFull(r, props); err != nil {
 					return err
 				}
 				g.replayEdge(h, opInsertEdge, VertexID(v), Label(label), VertexID(dst), props, epoch, false)
 			}
 		}
 	}
-}
-
-func readFull(r *bufio.Reader, b []byte) (int, error) {
-	n := 0
-	for n < len(b) {
-		m, err := r.Read(b[n:])
-		n += m
-		if err != nil {
-			return n, err
-		}
-	}
-	return n, nil
 }
 
 // WAL segment enumeration lives in the wal package (wal.Segments): the

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"livegraph/internal/disk"
 	"livegraph/internal/iosim"
 	"livegraph/internal/maint"
 	"livegraph/internal/metrics"
@@ -36,8 +37,15 @@ type Options struct {
 	Dir string
 
 	// Device models the persistence hardware (Optane/NAND profiles). Nil
-	// selects the instantaneous Null device.
+	// selects the instantaneous Null device. Only consulted by the iosim
+	// backend (the default); an explicit real Backend ignores it.
 	Device *iosim.Device
+
+	// Backend selects the durable storage bottom: disk.NewSim(Device)
+	// (the default — iosim-timed files, crash injection, device models)
+	// or disk.NewReal() (mmap'd superblock-headed segments, genuine
+	// msync/fsync, no simulated timing).
+	Backend disk.Backend
 
 	// Workers sizes the reading-epoch table and bounds the number of
 	// goroutines that may run transactions concurrently with dedicated
@@ -106,6 +114,9 @@ type Options struct {
 func (o *Options) fill() {
 	if o.Device == nil {
 		o.Device = iosim.NewDevice(iosim.Null)
+	}
+	if o.Backend == nil {
+		o.Backend = disk.NewSim(o.Device)
 	}
 	if o.Workers <= 0 {
 		o.Workers = 64
@@ -235,7 +246,15 @@ type Graph struct {
 
 	// ckptMu serialises Checkpoint: overlapping checkpoints would race
 	// on segment rotation, pruning, and the CHECKPOINT meta file.
-	ckptMu sync.Mutex
+	// lastCkptEpoch (under ckptMu for writes) is the epoch the newest
+	// checkpoint captured; dirtySinceCkpt counts vertex dirtyings since
+	// then — together they gate checkpoint eligibility: a graph whose
+	// read epoch hasn't moved past the last checkpoint has nothing new
+	// to capture, and the dirty counter lets callers scale checkpoint
+	// cadence to actual mutation volume.
+	ckptMu         sync.Mutex
+	lastCkptEpoch  atomic.Int64
+	dirtySinceCkpt atomic.Int64
 
 	stats  GraphStats
 	closed atomic.Bool
@@ -275,7 +294,7 @@ func Open(opts Options) (*Graph, error) {
 			return nil, err
 		}
 		g.walSeq++
-		l, err := wal.OpenSharded(opts.Dir, g.walSeq, opts.WALShards, opts.Device)
+		l, err := wal.OpenSharded(opts.Dir, g.walSeq, opts.WALShards, opts.Backend)
 		if err != nil {
 			return nil, err
 		}
@@ -428,8 +447,15 @@ const entryDeadBytes = 48
 // it accumulates into the scheduler's dead-bytes pressure gauge.
 func (g *Graph) markDirty(v VertexID, dead int64) {
 	g.dirty.Mark(int64(v), dead)
+	g.dirtySinceCkpt.Add(1)
 	g.maintNotify()
 }
+
+// DirtySinceCheckpoint reports how many vertex dirtyings have happened
+// since the last completed checkpoint — the eligibility gauge for
+// checkpoint cadence (a caller polling it can skip checkpoints while the
+// graph is quiet and tighten them under write bursts).
+func (g *Graph) DirtySinceCheckpoint() int64 { return g.dirtySinceCkpt.Load() }
 
 // acquireSlot blocks until a worker slot is free. Slots bound concurrent
 // transactions to the reader-table size.

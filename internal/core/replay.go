@@ -10,7 +10,7 @@ package core
 // timestamps — no locks, no group commit.
 
 import (
-	"os"
+	"path/filepath"
 
 	"livegraph/internal/storage"
 	"livegraph/internal/tel"
@@ -20,16 +20,28 @@ import (
 // recover restores durable state from opts.Dir. Called by Open before the
 // committer starts.
 func (g *Graph) recover() error {
+	// Sweep stray swap-protocol temp files first: a crash between writing
+	// `<x>.tmp` and renaming it leaves the temp behind. They were never
+	// visible under a final name, so they carry no acknowledged state —
+	// but a later checkpoint at the same epoch would collide with them.
+	for _, pat := range []string{"ckpt-*.snap.tmp", "CHECKPOINT.tmp"} {
+		if strays, err := filepath.Glob(filepath.Join(g.opts.Dir, pat)); err == nil {
+			for _, s := range strays {
+				g.opts.Backend.Remove(s)
+			}
+		}
+	}
 	meta, hasCkpt, err := wal.ReadCheckpointMeta(g.opts.Dir)
 	if err != nil {
 		return err
 	}
 	afterEpoch := int64(0)
 	if hasCkpt {
-		if err := g.loadCheckpoint(g.opts.Dir+"/"+meta.Path, meta.Epoch); err != nil {
+		if err := g.loadCheckpoint(filepath.Join(g.opts.Dir, meta.Path), meta.Epoch); err != nil {
 			return err
 		}
 		afterEpoch = meta.Epoch
+		g.lastCkptEpoch.Store(meta.Epoch)
 	}
 	groups, maxSeq, err := wal.Segments(g.opts.Dir, meta.MinWALSeq)
 	if err != nil {
@@ -43,7 +55,7 @@ func (g *Graph) recover() error {
 			// Fully superseded by the checkpoint; the checkpointer
 			// crashed mid-prune. Finish the job instead of replaying.
 			for _, p := range seg.Paths {
-				os.Remove(p)
+				g.opts.Backend.Remove(p)
 			}
 			continue
 		}

@@ -1,0 +1,57 @@
+//go:build !linux
+
+package disk
+
+// Fallback segment file for platforms without the mmap path: the same
+// superblock-headed format written through a buffered file descriptor
+// with fsync as the durability barrier. On-disk bytes are identical to
+// the mmap implementation's (minus the preallocated zero tail), so
+// segments are portable across the two.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+type fileLog struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func openRealLog(path string, segBytes int64, pageSize int, geo LogGeometry) (LogFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", path, err)
+	}
+	l := &fileLog{f: f, w: bufio.NewWriterSize(f, 1<<20)}
+	sb := EncodeSuperblock(uint32(pageSize), uint64(segBytes), geo)
+	if _, err := l.w.Write(sb[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := l.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *fileLog) Write(p []byte) (int, error) { return l.w.Write(p) }
+
+func (l *fileLog) Accept(n int) (int, error) { return n, nil }
+
+func (l *fileLog) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *fileLog) Close() error {
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

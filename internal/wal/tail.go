@@ -422,6 +422,21 @@ func (s *tailShard) fill() error {
 		return fmt.Errorf("wal: tail seek: %w", err)
 	}
 	s.r.Reset(s.f)
+	if s.off == 0 {
+		// First read of this file: a real-backend segment opens with a
+		// superblock the record loop must not parse. A superblock that is
+		// present but not yet complete (the writer creates the file before
+		// the header is durable) reads as zero records this poll; off stays
+		// 0, so the next fill rechecks.
+		skipped, empty, err := skipSuperblock(s.r, s.path)
+		if err != nil {
+			return err
+		}
+		if empty {
+			return nil
+		}
+		s.off += int64(skipped)
+	}
 	for {
 		epoch, rec, ok := readRecord(s.r)
 		if !ok {

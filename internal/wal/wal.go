@@ -9,10 +9,12 @@
 // point (the committer publishes GRE only after every shard is durable),
 // so snapshot isolation is unchanged; only the persist phase is parallel.
 //
-// Each log is a real file; fsync timing is additionally routed through an
-// iosim.Device so benchmarks can model the paper's Optane vs NAND devices
-// even when the host filesystem is a ramdisk. With N shards, each shard
-// writes through its own device channel (submission queue).
+// Each shard writes through a disk.Backend (the storage seam): the iosim
+// backend keeps the paper's Optane/NAND device models and crash injection
+// (each shard on its own device channel — submission queue), while the
+// real backend appends into mmap'd, superblock-headed segment files with
+// genuine msync/fsync durability. Replay sniffs the superblock, so both
+// formats recover through the same code path.
 //
 // Record framing (little endian):
 //
@@ -43,7 +45,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"livegraph/internal/iosim"
+	"livegraph/internal/disk"
 )
 
 const headerSize = 16
@@ -58,32 +60,35 @@ const markerOp = 0xF7
 // committer goroutine; Replay may be called before appending starts.
 type Log struct {
 	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	dev  *iosim.Device
+	lf   disk.LogFile
 	path string
 
 	appended int64 // bytes appended since open
 }
 
-// Open opens (creating if necessary) the log at path. dev may be nil for
-// real-time-only durability timing.
-func Open(path string, dev *iosim.Device) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// Open opens (creating if necessary) the log at path through backend. nil
+// selects the iosim backend on an instantaneous device. geo is the file's
+// place in a sharded log, recorded in the real backend's superblock (zero
+// for standalone logs).
+func Open(path string, backend disk.Backend, geo disk.LogGeometry) (*Log, error) {
+	if backend == nil {
+		backend = disk.NewSim(nil)
+	}
+	lf, err := backend.OpenLog(path, geo)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	return &Log{f: f, w: bufio.NewWriterSize(f, 1<<20), dev: dev, path: path}, nil
+	return &Log{lf: lf, path: path}, nil
 }
 
 // AppendGroup appends one batch of records — all stamped with the same
-// epoch — and makes it durable (flush + fsync, with the device model
-// charged for the batch). This is the group commit step: one fsync
-// amortised over every record in the batch.
+// epoch — and makes it durable (one Sync barrier for the whole batch, the
+// group commit step). The backend charges its device model, if any.
 //
-// If the device has an armed crash point (iosim.Device.CrashAfter), only
-// the accepted prefix of the batch reaches the file — a genuinely torn
-// write — and the wrapped iosim.ErrCrashed is returned.
+// If the backend's device has an armed crash point
+// (iosim.Device.CrashAfter), Accept admits only a prefix of the batch —
+// a genuinely torn write lands in the file — and the wrapped
+// iosim.ErrCrashed is returned.
 func (l *Log) AppendGroup(epoch int64, recs [][]byte) error {
 	if len(recs) == 0 {
 		return nil
@@ -94,13 +99,9 @@ func (l *Log) AppendGroup(epoch int64, recs [][]byte) error {
 	for _, rec := range recs {
 		total += headerSize + len(rec)
 	}
-	accepted := total
-	var devErr error
-	if l.dev != nil {
-		accepted, devErr = l.dev.Accept(total)
-	}
+	accepted, devErr := l.lf.Accept(total)
 	if accepted > 0 {
-		// Stream records straight into the buffered writer — no
+		// Stream records straight into the backend's writer — no
 		// batch-sized staging copy on the persist hot path. `remaining`
 		// clips the record that crosses an injected crash point, so the
 		// file carries exactly the accepted prefix (a genuine tear).
@@ -115,7 +116,7 @@ func (l *Log) AppendGroup(epoch int64, recs [][]byte) error {
 				if len(part) > remaining {
 					part = part[:remaining]
 				}
-				if _, err := l.w.Write(part); err != nil {
+				if _, err := l.lf.Write(part); err != nil {
 					return fmt.Errorf("wal: append: %w", err)
 				}
 				remaining -= len(part)
@@ -124,15 +125,8 @@ func (l *Log) AppendGroup(epoch int64, recs [][]byte) error {
 				}
 			}
 		}
-		if err := l.w.Flush(); err != nil {
-			return fmt.Errorf("wal: flush: %w", err)
-		}
-		if err := l.f.Sync(); err != nil {
+		if err := l.lf.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
-		}
-		if l.dev != nil {
-			l.dev.Write(accepted)
-			l.dev.Sync()
 		}
 		l.appended += int64(accepted)
 	}
@@ -150,31 +144,12 @@ func (l *Log) AppendedBytes() int64 {
 	return l.appended
 }
 
-// Close closes the log file.
+// Close closes the log file (trimming any preallocated tail on the real
+// backend).
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
-		return err
-	}
-	return l.f.Close()
-}
-
-// Reset truncates the log (after a checkpoint has captured its effects).
-func (l *Log) Reset() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
-		return err
-	}
-	if err := l.f.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	l.w.Reset(l.f)
-	return nil
+	return l.lf.Close()
 }
 
 // ErrTruncated is reported (wrapped) when replay hits a torn tail; records
@@ -187,31 +162,28 @@ var ErrTruncated = errors.New("wal: torn tail")
 // validates markers and strips them). A torn or corrupt tail terminates
 // replay silently (that is the crash contract); any fn error aborts replay.
 func Replay(path string, afterEpoch int64, fn func(epoch int64, rec []byte) error) error {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
+	sr, err := openSegReader(path)
 	if err != nil {
-		return fmt.Errorf("wal: replay open: %w", err)
+		return err
 	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	for {
-		epoch, rec, ok := readRecord(r)
-		if !ok {
-			return nil
+	defer sr.close()
+	for sr.haveRec {
+		if sr.epoch > afterEpoch {
+			if err := fn(sr.epoch, sr.rec); err != nil {
+				return err
+			}
 		}
-		if epoch <= afterEpoch {
-			continue
-		}
-		if err := fn(epoch, rec); err != nil {
-			return err
-		}
+		sr.next()
 	}
+	return nil
 }
 
 // readRecord reads one framed record; ok=false at clean EOF or the first
-// torn/corrupt record.
+// torn/corrupt record. An all-zero header is EOF, not a record: the real
+// backend preallocates segment files, so after a crash the tail past the
+// last durable record is zero-filled pages — and a zero header would
+// otherwise decode as a valid empty record (epoch 0, len 0, crc32("")==0)
+// forever. Real epochs start at 1, so no live record has a zero header.
 func readRecord(r *bufio.Reader) (epoch int64, rec []byte, ok bool) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -220,6 +192,9 @@ func readRecord(r *bufio.Reader) (epoch int64, rec []byte, ok bool) {
 	epoch = int64(binary.LittleEndian.Uint64(hdr[0:8]))
 	n := binary.LittleEndian.Uint32(hdr[8:12])
 	crc := binary.LittleEndian.Uint32(hdr[12:16])
+	if epoch == 0 && n == 0 && crc == 0 {
+		return 0, nil, false // preallocated zero tail: end of log
+	}
 	if n > 1<<30 {
 		return 0, nil, false // implausible length: torn
 	}
@@ -231,6 +206,40 @@ func readRecord(r *bufio.Reader) (epoch int64, rec []byte, ok bool) {
 		return 0, nil, false // corrupt: stop at the tear
 	}
 	return epoch, payload, true
+}
+
+// skipSuperblock positions r past a real-backend superblock, if the file
+// has one, reporting how many bytes it consumed. empty=true means the
+// segment must be treated as having no records: the creating process
+// crashed before the superblock was durable (no record was ever
+// acknowledged from such a file). Headerless iosim-format files pass
+// through untouched (skipped=0). Incompatible superblocks (foreign
+// endianness, unknown version, geometry not matching the file name) are
+// hard errors — misparsing them as records would be silent corruption.
+func skipSuperblock(r *bufio.Reader, path string) (skipped int, empty bool, err error) {
+	head, peekErr := r.Peek(disk.SuperblockSize)
+	if !disk.HasSuperblockMagic(head) {
+		return 0, false, nil // headerless iosim segment (or empty file)
+	}
+	if peekErr != nil && len(head) < disk.SuperblockSize {
+		return 0, true, nil // magic but cut short: torn at creation
+	}
+	sb, err := disk.DecodeSuperblock(head)
+	if errors.Is(err, disk.ErrTornSuperblock) {
+		return 0, true, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("wal: segment %s: %w", path, err)
+	}
+	if seq, shard, ok := ParseShardPath(path); ok {
+		if err := sb.CheckGeometry(seq, shard); err != nil {
+			return 0, false, fmt.Errorf("wal: segment %s: %w", path, err)
+		}
+	}
+	if _, err := r.Discard(disk.SuperblockSize); err != nil {
+		return 0, false, fmt.Errorf("wal: segment %s: %w", path, err)
+	}
+	return disk.SuperblockSize, false, nil
 }
 
 // Sharded log ----------------------------------------------------------------
@@ -289,19 +298,21 @@ func ParseShardPath(name string) (seq, shard int, ok bool) {
 }
 
 // OpenSharded opens (creating if necessary) segment seq of the log in dir
-// with the given shard count. Each shard writes through its own channel of
-// dev (multi-queue fan-out); dev may be nil.
-func OpenSharded(dir string, seq, shards int, dev *iosim.Device) (*ShardedLog, error) {
+// with the given shard count, through backend (nil selects the iosim
+// backend on an instantaneous device; each shard then writes on its own
+// device channel — multi-queue fan-out). The directory is fsynced after
+// the shard files are created: a commit acknowledged into a file whose
+// dirent is not durable would vanish with the dirent on crash.
+func OpenSharded(dir string, seq, shards int, backend disk.Backend) (*ShardedLog, error) {
 	if shards < 1 {
 		shards = 1
 	}
+	if backend == nil {
+		backend = disk.NewSim(nil)
+	}
 	sl := &ShardedLog{dir: dir, seq: seq, logs: make([]*Log, shards)}
 	for s := 0; s < shards; s++ {
-		var ch *iosim.Device
-		if dev != nil {
-			ch = dev.Channel()
-		}
-		l, err := Open(ShardPath(dir, seq, s), ch)
+		l, err := Open(ShardPath(dir, seq, s), backend, disk.LogGeometry{Seq: seq, Shard: s, Shards: shards})
 		if err != nil {
 			for _, open := range sl.logs[:s] {
 				open.Close()
@@ -309,6 +320,10 @@ func OpenSharded(dir string, seq, shards int, dev *iosim.Device) (*ShardedLog, e
 			return nil, err
 		}
 		sl.logs[s] = l
+	}
+	if err := backend.SyncDir(dir); err != nil {
+		sl.Close()
+		return nil, fmt.Errorf("wal: fsync dir after segment create: %w", err)
 	}
 	return sl, nil
 }
@@ -562,6 +577,15 @@ func openSegReader(path string) (*segReader, error) {
 		return nil, fmt.Errorf("wal: replay open: %w", err)
 	}
 	sr := &segReader{f: f, r: bufio.NewReaderSize(f, 1<<20)}
+	_, empty, err := skipSuperblock(sr.r, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if empty {
+		sr.r = nil // torn at creation: zero intact records
+		return sr, nil
+	}
 	sr.next()
 	return sr, nil
 }
@@ -607,10 +631,12 @@ type CheckpointMeta struct {
 }
 
 // WriteCheckpointMeta durably records the checkpoint pointer file next to
-// the WAL (write-temp + rename for atomicity).
+// the WAL under the crash-atomic swap protocol (write temp, fsync it,
+// rename over CHECKPOINT, fsync the directory). The earlier
+// write-temp+rename without the fsyncs could leave a durable CHECKPOINT
+// dirent naming non-durable bytes — recovery would then trust a pointer
+// whose contents a crash discarded.
 func WriteCheckpointMeta(dir string, meta CheckpointMeta) error {
-	tmp := filepath.Join(dir, "CHECKPOINT.tmp")
-	final := filepath.Join(dir, "CHECKPOINT")
 	data := binary.LittleEndian.AppendUint64(nil, uint64(meta.Epoch))
 	data = binary.LittleEndian.AppendUint32(data, uint32(meta.MinWALSeq))
 	data = binary.LittleEndian.AppendUint32(data, uint32(len(meta.ShardTruncEpochs)))
@@ -618,10 +644,7 @@ func WriteCheckpointMeta(dir string, meta CheckpointMeta) error {
 		data = binary.LittleEndian.AppendUint64(data, uint64(e))
 	}
 	data = append(data, []byte(meta.Path)...)
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, final)
+	return disk.WriteFileAtomic(filepath.Join(dir, "CHECKPOINT"), data)
 }
 
 // ReadCheckpointMeta loads the checkpoint pointer, or ok=false if none.

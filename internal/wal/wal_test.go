@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"livegraph/internal/disk"
 	"livegraph/internal/iosim"
 )
 
@@ -15,7 +16,7 @@ func openTemp(t *testing.T) (*Log, string) {
 	t.Helper()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
-	l, err := Open(path, iosim.NewDevice(iosim.Null))
+	l, err := Open(path, disk.NewSim(iosim.NewDevice(iosim.Null)), disk.LogGeometry{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,23 +115,6 @@ func TestReplayMissingFileIsEmpty(t *testing.T) {
 	}
 }
 
-func TestReset(t *testing.T) {
-	l, path := openTemp(t)
-	l.AppendGroup(1, [][]byte{[]byte("x")})
-	if err := l.Reset(); err != nil {
-		t.Fatal(err)
-	}
-	l.AppendGroup(9, [][]byte{[]byte("y")})
-	var got []string
-	Replay(path, 0, func(e int64, rec []byte) error {
-		got = append(got, string(rec))
-		return nil
-	})
-	if len(got) != 1 || got[0] != "y" {
-		t.Fatalf("got %v after reset", got)
-	}
-}
-
 func TestAppendedBytes(t *testing.T) {
 	l, _ := openTemp(t)
 	l.AppendGroup(1, [][]byte{make([]byte, 100)})
@@ -142,7 +126,7 @@ func TestAppendedBytes(t *testing.T) {
 func TestDeviceCharged(t *testing.T) {
 	dir := t.TempDir()
 	dev := iosim.NewDevice(iosim.Null)
-	l, err := Open(filepath.Join(dir, "w.log"), dev)
+	l, err := Open(filepath.Join(dir, "w.log"), disk.NewSim(dev), disk.LogGeometry{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +168,7 @@ func TestCheckpointMetaRoundTrip(t *testing.T) {
 func openShardedTemp(t *testing.T, shards int) (*ShardedLog, string) {
 	t.Helper()
 	dir := t.TempDir()
-	sl, err := OpenSharded(dir, 1, shards, iosim.NewDevice(iosim.Null))
+	sl, err := OpenSharded(dir, 1, shards, disk.NewSim(iosim.NewDevice(iosim.Null)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +311,7 @@ func TestShardedMissingMarkerDiscardsGroup(t *testing.T) {
 func TestShardedDeviceCrashTearsGroup(t *testing.T) {
 	dir := t.TempDir()
 	dev := iosim.NewDevice(iosim.Null)
-	sl, err := OpenSharded(dir, 1, 4, dev)
+	sl, err := OpenSharded(dir, 1, 4, disk.NewSim(dev))
 	if err != nil {
 		t.Fatal(err)
 	}
