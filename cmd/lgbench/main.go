@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"livegraph/internal/bench"
@@ -88,9 +90,18 @@ func main() {
 		cfg.Record = func(m bench.Metric) { results = append(results, m) }
 	}
 
+	// The process context: experiments propagate it into transactions and
+	// replication appliers, so Ctrl-C unwinds lock waits instead of leaving
+	// goroutines spinning until exit. Once cancelled, stop() restores the
+	// default SIGINT disposition so a second Ctrl-C kills an experiment
+	// whose hot loop never blocks (and so never observes ctx).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
 	run := func(e bench.Experiment) {
 		t0 := time.Now()
-		e.Run(cfg)
+		e.Run(ctx, cfg)
 		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
 
@@ -114,6 +125,7 @@ func main() {
 			os.Exit(1)
 		}
 		buf = append(buf, '\n')
+		//lglint:ignore durablefs results file is reportage, not engine state; no crash-consistency contract
 		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "lgbench: write %s: %v\n", *jsonPath, err)
 			os.Exit(1)

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -121,30 +122,33 @@ func (cfg Config) backendName() string {
 	return cfg.Backend
 }
 
-// Experiment is a runnable reproduction of one table or figure.
+// Experiment is a runnable reproduction of one table or figure. Run takes
+// the caller's context (cmd/lgbench passes its process context) so the
+// experiments that open transactions or wait on followers propagate a real
+// cancellation signal instead of minting context.Background() mid-library.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config)
+	Run   func(ctx context.Context, cfg Config)
 }
 
 // Experiments lists every experiment in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
 		{"fig1", "Figure 1: adjacency list seek & scan latency across data structures", Fig1},
-		{"tab3", "Table 3: LinkBench TAO latency in memory", func(c Config) { LinkBenchLatency(c, false, true) }},
-		{"tab4", "Table 4: LinkBench DFLT latency in memory", func(c Config) { LinkBenchLatency(c, false, false) }},
-		{"tab5", "Table 5: LinkBench TAO latency out of core", func(c Config) { LinkBenchLatency(c, true, true) }},
-		{"tab6", "Table 6: LinkBench DFLT latency out of core", func(c Config) { LinkBenchLatency(c, true, false) }},
-		{"fig5", "Figure 5: TAO throughput/latency vs clients", func(c Config) { ThroughputSweep(c, true) }},
-		{"fig6", "Figure 6: DFLT throughput/latency vs clients", func(c Config) { ThroughputSweep(c, false) }},
+		{"tab3", "Table 3: LinkBench TAO latency in memory", func(ctx context.Context, c Config) { LinkBenchLatency(ctx, c, false, true) }},
+		{"tab4", "Table 4: LinkBench DFLT latency in memory", func(ctx context.Context, c Config) { LinkBenchLatency(ctx, c, false, false) }},
+		{"tab5", "Table 5: LinkBench TAO latency out of core", func(ctx context.Context, c Config) { LinkBenchLatency(ctx, c, true, true) }},
+		{"tab6", "Table 6: LinkBench DFLT latency out of core", func(ctx context.Context, c Config) { LinkBenchLatency(ctx, c, true, false) }},
+		{"fig5", "Figure 5: TAO throughput/latency vs clients", func(ctx context.Context, c Config) { ThroughputSweep(ctx, c, true) }},
+		{"fig6", "Figure 6: DFLT throughput/latency vs clients", func(ctx context.Context, c Config) { ThroughputSweep(ctx, c, false) }},
 		{"fig7a", "Figure 7a: LiveGraph client scalability", Fig7a},
 		{"fig7b", "Figure 7b: TEL block size distribution", Fig7b},
 		{"mem", "§7.2: memory footprint and compaction effectiveness", MemFootprint},
 		{"fig8", "Figure 8: throughput vs write ratio (in-memory and out-of-core)", Fig8},
 		{"ckpt", "§7.2: checkpointing under concurrent LinkBench load", Ckpt},
-		{"tab7", "Table 7: SNB interactive throughput in memory", func(c Config) { SNBThroughput(c, false) }},
-		{"tab8", "Table 8: SNB interactive throughput out of core", func(c Config) { SNBThroughput(c, true) }},
+		{"tab7", "Table 7: SNB interactive throughput in memory", func(ctx context.Context, c Config) { SNBThroughput(ctx, c, false) }},
+		{"tab8", "Table 8: SNB interactive throughput out of core", func(ctx context.Context, c Config) { SNBThroughput(ctx, c, true) }},
 		{"tab9", "Table 9: SNB per-query latency", SNBQueryLatency},
 		{"tab10", "Table 10: ETL + PageRank/ConnComp, in-situ vs CSR engine", Tab10},
 		{"trav", "Morsel-driven parallel traversal: two-hop throughput vs worker-pool width", TraverseSweep},

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -62,7 +63,7 @@ func TestAllExperimentsSmoke(t *testing.T) {
 		t.Run(e.ID, func(t *testing.T) {
 			var sb strings.Builder
 			cfg := tiny(&sb)
-			e.Run(cfg)
+			e.Run(context.Background(), cfg)
 			out := sb.String()
 			if !strings.Contains(out, "===") {
 				t.Fatalf("no header in output: %q", out)
@@ -86,7 +87,7 @@ func TestTraverseSweepRecordsMetrics(t *testing.T) {
 	cfg.TravScale, cfg.TravOps = 7, 1
 	var got []Metric
 	cfg.Record = func(m Metric) { got = append(got, m) }
-	TraverseSweep(cfg)
+	TraverseSweep(context.Background(), cfg)
 	if len(got) != 8 { // {in-memory, out-of-core} x parallelism {1,2,4,8}
 		t.Fatalf("recorded %d metrics, want 8", len(got))
 	}
@@ -103,7 +104,7 @@ func TestTraverseSweepRecordsMetrics(t *testing.T) {
 func TestFig1OutputShape(t *testing.T) {
 	var sb strings.Builder
 	cfg := tiny(&sb)
-	Fig1(cfg)
+	Fig1(context.Background(), cfg)
 	out := sb.String()
 	for _, s := range []string{"TEL(LiveGraph)", "LSMT(RocksDB)", "B+Tree(LMDB)", "LinkedList(Neo4j)", "CSR"} {
 		if !strings.Contains(out, s) {

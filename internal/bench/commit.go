@@ -11,6 +11,7 @@ package bench
 // tmp → fsync → rename → dir-fsync swap protocol on that backend.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -23,7 +24,7 @@ import (
 )
 
 // Commit runs the durable commit-path experiment.
-func Commit(cfg Config) {
+func Commit(ctx context.Context, cfg Config) {
 	header(cfg, fmt.Sprintf("Commit path: durable group commit, %s backend", cfg.backendName()))
 
 	clients, requests := cfg.LBClients, cfg.LBRequests
@@ -52,7 +53,7 @@ func Commit(cfg Config) {
 
 		nv := int64(clients * srcsPerClient)
 		{
-			tx, err := g.Begin()
+			tx, err := g.BeginCtx(ctx)
 			if err != nil {
 				panic(err)
 			}
@@ -77,7 +78,7 @@ func Commit(cfg Config) {
 				rng := rand.New(rand.NewSource(int64(c) + 11))
 				base := int64(c * srcsPerClient)
 				for i := 0; i < requests; i++ {
-					tx, err := g.Begin()
+					tx, err := g.BeginCtx(ctx)
 					if err != nil {
 						return
 					}

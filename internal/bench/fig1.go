@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"time"
 
 	"livegraph/internal/baseline"
@@ -106,7 +107,7 @@ func (s *telStore) Degree(src int64) int {
 // the analytic backdrop): adjacency list scans over Kronecker graphs with
 // power-law start vertices, reporting seek latency (µs/vertex) and edge
 // scan latency (ns/edge) per data structure and scale.
-func Fig1(cfg Config) {
+func Fig1(_ context.Context, cfg Config) {
 	header(cfg, "Figure 1: seek latency (us/vertex) and edge scan latency (ns/edge)")
 	row(cfg, "%-6s %-20s %14s %14s %10s", "scale", "structure", "seek us/vtx", "scan ns/edge", "edges")
 	for scale := cfg.MinScale; scale <= cfg.MaxScale; scale += 2 {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -204,7 +205,7 @@ func BuildSystems(cfg Config, prof iosim.Profile, ooc bool) ([]System, []kron.Ed
 
 // LinkBenchLatency reproduces Tables 3–6: mean/p99/p999 latency per system
 // on both device profiles.
-func LinkBenchLatency(cfg Config, ooc bool, tao bool) {
+func LinkBenchLatency(_ context.Context, cfg Config, ooc bool, tao bool) {
 	mix := linkbench.DFLT
 	tbl := "Table 4"
 	if tao {
@@ -239,7 +240,7 @@ func LinkBenchLatency(cfg Config, ooc bool, tao bool) {
 // ThroughputSweep reproduces Figures 5 (TAO) and 6 (DFLT): throughput and
 // mean latency as the client count grows, in-memory and out-of-core on the
 // Optane profile.
-func ThroughputSweep(cfg Config, tao bool) {
+func ThroughputSweep(_ context.Context, cfg Config, tao bool) {
 	mix := linkbench.DFLT
 	fig := "Figure 6"
 	if tao {
@@ -269,7 +270,7 @@ func ThroughputSweep(cfg Config, tao bool) {
 
 // Fig7a reproduces Figure 7a: LiveGraph-only scalability for TAO and DFLT
 // against the ideal linear line.
-func Fig7a(cfg Config) {
+func Fig7a(_ context.Context, cfg Config) {
 	header(cfg, "Figure 7a: LiveGraph scalability (reqs/s vs clients)")
 	row(cfg, "%-6s %8s %14s %14s %14s", "mix", "clients", "reqs/s", "ideal", "efficiency")
 	for _, mix := range []linkbench.Mix{linkbench.TAO, linkbench.DFLT} {
@@ -297,7 +298,7 @@ func Fig7a(cfg Config) {
 
 // Fig7b reproduces Figure 7b: the TEL block-size distribution after a DFLT
 // run, which mirrors the power-law degree distribution.
-func Fig7b(cfg Config) {
+func Fig7b(_ context.Context, cfg Config) {
 	header(cfg, "Figure 7b: TEL block size distribution after DFLT")
 	g, err := core.Open(core.Options{})
 	if err != nil {
@@ -321,7 +322,7 @@ func Fig7b(cfg Config) {
 
 // MemFootprint reproduces the §7.2 memory-consumption study: footprint with
 // default compaction vs compaction disabled (paper: +33.7% uncompacted).
-func MemFootprint(cfg Config) {
+func MemFootprint(_ context.Context, cfg Config) {
 	header(cfg, "§7.2: memory footprint, compaction on vs off")
 	run := func(compactEvery int) int64 {
 		g, err := core.Open(core.Options{CompactEvery: compactEvery, Workers: 256})
@@ -346,7 +347,7 @@ func MemFootprint(cfg Config) {
 // Fig8 reproduces Figure 8: throughput as the write ratio grows from 25% to
 // 100%, LiveGraph vs RocksDB, in-memory (Optane) and out-of-core (both
 // devices).
-func Fig8(cfg Config) {
+func Fig8(_ context.Context, cfg Config) {
 	header(cfg, "Figure 8: LinkBench throughput vs write ratio")
 	row(cfg, "%-10s %-8s %-12s %8s %14s", "memory", "device", "system", "write%", "reqs/s")
 	for _, env := range []struct {
@@ -376,7 +377,7 @@ func Fig8(cfg Config) {
 // Ckpt reproduces the §7.2 long-running-transaction/checkpoint study:
 // checkpoint duration alone vs under load, and the throughput penalty of
 // concurrent checkpointing.
-func Ckpt(cfg Config) {
+func Ckpt(_ context.Context, cfg Config) {
 	header(cfg, "§7.2: checkpointing under concurrent LinkBench DFLT")
 	dir, err := tempDir()
 	if err != nil {

@@ -21,6 +21,7 @@ package bench
 // inline pass's, with a footprint no worse than legacy's.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -31,7 +32,7 @@ import (
 )
 
 // Maint runs the background-maintenance experiment.
-func Maint(cfg Config) {
+func Maint(ctx context.Context, cfg Config) {
 	header(cfg, "Background maintenance: budgeted scheduler vs legacy inline pass vs off")
 
 	clients, requests := cfg.LBClients, cfg.LBRequests
@@ -69,7 +70,7 @@ func Maint(cfg Config) {
 			return nil
 		}
 		{
-			tx, err := g.Begin()
+			tx, err := g.BeginCtx(ctx)
 			if err != nil {
 				panic(err)
 			}
@@ -92,7 +93,7 @@ func Maint(cfg Config) {
 				rng := rand.New(rand.NewSource(int64(c) + 7))
 				base := int64(c * srcsPerClient)
 				for i := 0; i < requests; i++ {
-					tx, err := g.Begin()
+					tx, err := g.BeginCtx(ctx)
 					if err != nil {
 						return
 					}

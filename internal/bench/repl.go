@@ -31,7 +31,7 @@ import (
 )
 
 // Replication runs the WAL-shipping experiment.
-func Replication(cfg Config) {
+func Replication(ctx context.Context, cfg Config) {
 	header(cfg, "WAL-shipping replication: follower apply throughput and staleness lag")
 
 	dir, err := os.MkdirTemp("", "lg-repl-*")
@@ -60,9 +60,9 @@ func Replication(cfg Config) {
 	}
 	defer follower.Close()
 	ap := repl.NewApplier(follower, "http://"+ln.Addr().String())
-	ctx, cancel := context.WithCancel(context.Background())
+	applyCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	go ap.Run(ctx)
+	go ap.Run(applyCtx)
 
 	// Write workload: LBClients writers, LBRequests transactions each,
 	// every transaction inserting a small batch of random edges over a
@@ -111,7 +111,7 @@ func Replication(cfg Config) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < requests; i++ {
-				tx, err := primary.Begin()
+				tx, err := primary.BeginCtx(ctx)
 				if err != nil {
 					return
 				}

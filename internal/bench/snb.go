@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -49,7 +50,7 @@ func snbBackends(cfg Config, ooc bool) ([]snb.Backend, []*snb.Dataset) {
 
 // SNBThroughput reproduces Tables 7 and 8: requests/second for the
 // Complex-Only and Overall mixes across systems.
-func SNBThroughput(cfg Config, ooc bool) {
+func SNBThroughput(_ context.Context, cfg Config, ooc bool) {
 	tbl, mem := "Table 7", "in memory"
 	if ooc {
 		tbl, mem = "Table 8", "out of core (LiveGraph paged; stand-ins in memory)"
@@ -74,7 +75,7 @@ func SNBThroughput(cfg Config, ooc bool) {
 
 // SNBQueryLatency reproduces Table 9: average latency of complex reads 1
 // and 13, short read 2, and update transactions.
-func SNBQueryLatency(cfg Config) {
+func SNBQueryLatency(_ context.Context, cfg Config) {
 	header(cfg, "Table 9: average latency of selected SNB queries (ms)")
 	row(cfg, "%-26s %12s %12s %12s %12s", "system", "complex 1", "complex 13", "short 2", "updates")
 	backends, datasets := snbBackends(cfg, false)
@@ -91,7 +92,7 @@ func SNBQueryLatency(cfg Config) {
 // Tab10 reproduces Table 10: iterative analytics (PageRank, ConnComp) on
 // the SNB person-knows subgraph, run in-situ on the LiveGraph snapshot vs
 // exported to a CSR engine (the export time is the ETL column).
-func Tab10(cfg Config) {
+func Tab10(ctx context.Context, cfg Config) {
 	header(cfg, "Table 10: ETL and execution times for analytics (ms)")
 	g, err := core.Open(core.Options{Workers: 256})
 	if err != nil {
@@ -103,7 +104,7 @@ func Tab10(cfg Config) {
 		panic(err)
 	}
 
-	snap, err := g.Snapshot()
+	snap, err := g.SnapshotCtx(ctx)
 	if err != nil {
 		panic(err)
 	}

@@ -44,30 +44,30 @@ var ColdRead = iosim.Profile{
 var travParallelisms = []int{1, 2, 4, 8}
 
 // TraverseSweep runs the parallel-traversal experiment.
-func TraverseSweep(cfg Config) {
+func TraverseSweep(ctx context.Context, cfg Config) {
 	header(cfg, "Morsel-driven parallel traversal: two-hop throughput vs worker-pool width")
 	edges := kron.Generate(cfg.TravScale, 4, 42, kron.DefaultParams)
 	row(cfg, "graph: 2^%d vertices, %d edges; %d two-hop traversals per config; GOMAXPROCS=%d",
 		cfg.TravScale, len(edges), cfg.TravOps, runtime.GOMAXPROCS(0))
 
-	travRegime(cfg, "in-memory", edges, core.Options{Workers: 256}, nil)
+	travRegime(ctx, cfg, "in-memory", edges, core.Options{Workers: 256}, nil)
 
 	dev := iosim.NewDevice(ColdRead)
 	cache := iosim.NewPageCache(dev, 1<<62)
-	travRegime(cfg, "out-of-core", edges, core.Options{Workers: 256, PageCache: cache}, cache)
+	travRegime(ctx, cfg, "out-of-core", edges, core.Options{Workers: 256, PageCache: cache}, cache)
 }
 
 // travRegime loads the graph under opts, optionally caps the page cache to
 // OOCFrac of the loaded footprint, and sweeps parallelism over repeated
 // two-hop traversals from degree-sampled sources.
-func travRegime(cfg Config, regime string, edges []kron.Edge, opts core.Options, cache *iosim.PageCache) {
+func travRegime(ctx context.Context, cfg Config, regime string, edges []kron.Edge, opts core.Options, cache *iosim.PageCache) {
 	g, err := core.Open(opts)
 	if err != nil {
 		panic(err)
 	}
 	defer g.Close()
 	n := int64(1) << uint(cfg.TravScale)
-	tx, _ := g.Begin()
+	tx, _ := g.BeginCtx(ctx)
 	for i := int64(0); i < n; i++ {
 		tx.AddVertex(nil)
 	}
@@ -76,7 +76,7 @@ func travRegime(cfg Config, regime string, edges []kron.Edge, opts core.Options,
 	}
 	for lo := 0; lo < len(edges); lo += 8192 {
 		hi := min(lo+8192, len(edges))
-		tx, _ := g.Begin()
+		tx, _ := g.BeginCtx(ctx)
 		for _, e := range edges[lo:hi] {
 			tx.InsertEdge(core.VertexID(e.Src), 0, core.VertexID(e.Dst), nil)
 		}
@@ -90,12 +90,11 @@ func travRegime(cfg Config, regime string, edges []kron.Edge, opts core.Options,
 		residentCap = int64(float64(st.AllocatedWords*8*2) * cfg.OOCFrac)
 		cache.SetCap(residentCap)
 	}
-	snap, err := g.Snapshot()
+	snap, err := g.SnapshotCtx(ctx)
 	if err != nil {
 		panic(err)
 	}
 	defer snap.Release()
-	ctx := context.Background()
 
 	var base float64
 	for _, p := range travParallelisms {

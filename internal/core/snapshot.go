@@ -23,6 +23,7 @@ type Snapshot struct {
 
 // Snapshot pins the latest committed state.
 func (g *Graph) Snapshot() (*Snapshot, error) {
+	//lglint:ignore ctxprop public convenience wrapper; ctx-aware callers use SnapshotCtx
 	return g.SnapshotCtx(context.Background())
 }
 
@@ -47,6 +48,7 @@ func (g *Graph) SnapshotCtx(ctx context.Context) (*Snapshot, error) {
 // have been opened with HistoryRetention > 0 for anything but the current
 // epoch to be dependable.
 func (g *Graph) SnapshotAt(epoch int64) (*Snapshot, error) {
+	//lglint:ignore ctxprop public convenience wrapper; ctx-aware callers use SnapshotAtCtx
 	return g.SnapshotAtCtx(context.Background(), epoch)
 }
 

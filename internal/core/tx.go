@@ -78,6 +78,8 @@ type vertexWrite struct {
 }
 
 // Begin starts a read-write transaction.
+//
+//lglint:ignore ctxprop public convenience wrapper; ctx-aware callers use BeginCtx
 func (g *Graph) Begin() (*Tx, error) { return g.BeginCtx(context.Background()) }
 
 // BeginCtx starts a read-write transaction bound to ctx. The context bounds
@@ -109,6 +111,8 @@ func (g *Graph) BeginCtx(ctx context.Context) (*Tx, error) {
 }
 
 // BeginRead starts a read-only snapshot transaction.
+//
+//lglint:ignore ctxprop public convenience wrapper; ctx-aware callers use BeginReadCtx
 func (g *Graph) BeginRead() (*Tx, error) { return g.BeginReadCtx(context.Background()) }
 
 // BeginReadCtx starts a read-only snapshot transaction, waiting for a free

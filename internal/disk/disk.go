@@ -93,7 +93,9 @@ func SyncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	// Read-only directory handle: Sync is the durability barrier; a Close
+	// failure afterwards cannot lose data.
+	defer func() { _ = d.Close() }()
 	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
 		return fmt.Errorf("disk: fsync dir %s: %w", dir, err)
 	}
@@ -117,12 +119,12 @@ func WriteFileAtomic(path string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close() // cleanup of a discarded temp file: the write error wins
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // cleanup of a discarded temp file: the sync error wins
 		os.Remove(tmp)
 		return err
 	}
@@ -188,7 +190,7 @@ func (a *atomicFile) Commit() error {
 }
 
 func (a *atomicFile) Abort() error {
-	a.f.Close()
+	_ = a.f.Close() // the temp file is being discarded; unlink outcome wins
 	return os.Remove(a.tmp)
 }
 
@@ -199,6 +201,6 @@ func removeDurable(path string) error {
 	if err := os.Remove(path); err != nil {
 		return err
 	}
-	SyncDir(filepath.Dir(path))
+	_ = SyncDir(filepath.Dir(path)) // best-effort by contract (see Backend.Remove)
 	return nil
 }

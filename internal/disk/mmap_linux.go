@@ -38,12 +38,12 @@ func openRealLog(path string, segBytes int64, pageSize int, geo LogGeometry) (Lo
 		return nil, fmt.Errorf("disk: open %s: %w", path, err)
 	}
 	if err := f.Truncate(segBytes); err != nil {
-		f.Close()
+		_ = f.Close() // discarding a never-used segment: the truncate error wins
 		return nil, fmt.Errorf("disk: preallocate %s: %w", path, err)
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(segBytes), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // discarding a never-used segment: the mmap error wins
 		return nil, fmt.Errorf("disk: mmap %s: %w", path, err)
 	}
 	l := &mmapLog{f: f, data: data, pageSize: pageSize}
@@ -51,11 +51,11 @@ func openRealLog(path string, segBytes int64, pageSize int, geo LogGeometry) (Lo
 	copy(l.data[:SuperblockSize], sb[:])
 	l.off = SuperblockSize
 	if err := l.msyncRange(0, l.off); err != nil {
-		l.Close()
+		_ = l.Close() // discarding a never-used segment: the msync error wins
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
-		l.Close()
+		_ = l.Close() // discarding a never-used segment: the fsync error wins
 		return nil, fmt.Errorf("disk: fsync %s: %w", path, err)
 	}
 	l.syncedTo = l.off

@@ -85,7 +85,7 @@ func (l *simLog) Sync() error {
 
 func (l *simLog) Close() error {
 	if err := l.w.Flush(); err != nil {
-		l.f.Close()
+		_ = l.f.Close() // the flush error already poisons this shard; it wins
 		return err
 	}
 	return l.f.Close()

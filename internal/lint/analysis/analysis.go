@@ -1,0 +1,121 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, carrying exactly the surface
+// lglint's project-specific analyzers need. The real module is not a
+// dependency of this repository (the engine itself is stdlib-only), so the
+// analyzers are written against this mirror instead; the types are shaped
+// so that porting an analyzer to the upstream framework is a rename.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. Exactly one of Run and
+// RunProgram must be set: Run is invoked once per package (the common
+// case), RunProgram once with every loaded package at once — for
+// whole-program invariants such as atomicfield, where an access in one
+// package constrains accesses in every other.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -checks selections and
+	// //lglint:ignore directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-paragraph invariant statement printed by lglint -help.
+	// The first line is the summary.
+	Doc string
+
+	// Run implements a per-package analyzer.
+	Run func(*Pass) error
+
+	// RunProgram implements a whole-program analyzer.
+	RunProgram func(*Program) error
+}
+
+// Package is one type-checked package: the unit a Pass sees.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Program is every package of one lglint invocation, type-checked against
+// a single token.FileSet, in dependency order (imports precede importers).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	report func(Diagnostic)
+}
+
+// NewProgram assembles a Program whose diagnostics are delivered to report.
+func NewProgram(fset *token.FileSet, pkgs []*Package, report func(Diagnostic)) *Program {
+	return &Program{Fset: fset, Packages: pkgs, report: report}
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Report delivers a finding at pos.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: msg})
+}
+
+// Reportf delivers a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// Pass builds the per-package Pass an analyzer's RunProgram can use to
+// report against one of the program's packages.
+func (prog *Program) Pass(a *Analyzer, pkg *Package) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      prog.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.TypesInfo,
+		report:    prog.report,
+	}
+}
+
+// RunAll executes each analyzer over the program, fanning per-package
+// analyzers across every package. The first analyzer error aborts (analyzer
+// errors mean the tool is broken, not that the code has findings).
+func (prog *Program) RunAll(analyzers []*Analyzer) error {
+	for _, a := range analyzers {
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			return fmt.Errorf("analyzer %s: exactly one of Run and RunProgram must be set", a.Name)
+		}
+		if a.RunProgram != nil {
+			if err := a.RunProgram(prog); err != nil {
+				return fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range prog.Packages {
+			if err := a.Run(prog.Pass(a, pkg)); err != nil {
+				return fmt.Errorf("%s: %s: %w", a.Name, pkg.Pkg.Path(), err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"livegraph/internal/lint/analysis"
+)
+
+// Atomicfield enforces all-or-nothing atomicity on struct fields: a field
+// that is ever passed to a sync/atomic pointer function (atomic.LoadInt64,
+// atomic.AddUint64, atomic.CompareAndSwapInt64, ...) anywhere in the
+// program must never be read or written plainly anywhere else. A single
+// plain load next to atomic stores is the epoch/log-pointer race class the
+// race detector only catches probabilistically — the schedule that
+// interleaves the plain access rarely materialises under -race but is
+// legal on real hardware. Fields using the typed atomics (atomic.Int64
+// etc.) are immune by construction and are the preferred fix. Struct
+// literal keys (pre-publication initialisation) are permitted.
+var Atomicfield = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: `forbid mixing sync/atomic and plain access to one struct field
+
+If any code reaches a field through sync/atomic, every access must be
+atomic: a plain read races with atomic stores and a plain write races with
+everything. Prefer migrating the field to atomic.Int64/Uint64/Bool.`,
+}
+
+// Assigned in init to break the Atomicfield -> runAtomicfield ->
+// Atomicfield initialization cycle (runAtomicfield names the analyzer when
+// constructing per-package passes).
+func init() { Atomicfield.RunProgram = runAtomicfield }
+
+// atomicPtrFuncs are the sync/atomic functions whose first argument is a
+// pointer to the word being accessed.
+func isAtomicPtrFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "And", "Or", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldKey names a struct field in a way that is stable across the
+// source-loaded and export-data views of its package: the declaring
+// struct's package path and type name plus the field name.
+func fieldKey(pass *analysis.Pass, sel *ast.SelectorExpr) (string, *types.Var) {
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return "", nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || !field.IsField() || field.Pkg() == nil {
+		return "", nil
+	}
+	// Walk the selection's index path to the struct that directly declares
+	// the field, so promoted fields of embedded structs key consistently.
+	t := selection.Recv()
+	index := selection.Index()
+	for _, i := range index[:len(index)-1] {
+		t = derefType(t)
+		s, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			break
+		}
+		t = s.Field(i).Type()
+	}
+	owner := "?"
+	if named, ok := derefType(t).(*types.Named); ok {
+		owner = named.Obj().Name()
+	}
+	return fmt.Sprintf("%s.%s.%s", field.Pkg().Path(), owner, field.Name()), field
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+type atomicUse struct {
+	pos   token.Pos
+	field *types.Var
+}
+
+func runAtomicfield(prog *analysis.Program) error {
+	// Pass 1: collect every field reached through a sync/atomic pointer
+	// function, and remember the selector nodes so pass 2 can tell the
+	// atomic accesses themselves apart from plain ones.
+	atomicFields := make(map[string]atomicUse)
+	atomicSelectors := make(map[*ast.SelectorExpr]bool)
+	forEachPass := func(a *analysis.Analyzer, fn func(pass *analysis.Pass, f *ast.File)) {
+		for _, pkg := range prog.Packages {
+			pass := prog.Pass(a, pkg)
+			for _, f := range pass.Files {
+				fn(pass, f)
+			}
+		}
+	}
+	forEachPass(Atomicfield, func(pass *analysis.Pass, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := callee(pass.TypesInfo, call)
+			if fn == nil || !isAtomicPtrFunc(fn) {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key, field := fieldKey(pass, sel)
+			if field == nil {
+				return true
+			}
+			atomicSelectors[sel] = true
+			if _, seen := atomicFields[key]; !seen {
+				atomicFields[key] = atomicUse{pos: call.Pos(), field: field}
+			}
+			return true
+		})
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selection of a tracked field is a finding.
+	forEachPass(Atomicfield, func(pass *analysis.Pass, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSelectors[sel] {
+				return true
+			}
+			key, field := fieldKey(pass, sel)
+			if field == nil {
+				return true
+			}
+			use, tracked := atomicFields[key]
+			if !tracked {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s, which is accessed with sync/atomic (e.g. at %s); this races — use the atomic API or migrate the field to a typed atomic",
+				key, prog.Fset.Position(use.pos))
+			return true
+		})
+	})
+	return nil
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"livegraph/internal/lint"
+	"livegraph/internal/lint/linttest"
+)
+
+func TestCtxprop(t *testing.T) {
+	linttest.Run(t, "ctxprop/lib", lint.Ctxprop)
+}
+
+func TestCtxpropMainExempt(t *testing.T) {
+	linttest.Run(t, "ctxprop/mainpkg", lint.Ctxprop)
+}

@@ -1,0 +1,21 @@
+package lint_test
+
+import (
+	"testing"
+
+	"livegraph/internal/lint"
+	"livegraph/internal/lint/linttest"
+)
+
+// TestDurablefs is the acceptance regression: reintroducing a raw
+// os.Create/os.Rename/os.WriteFile/os.OpenFile/os.Remove into a WAL-like
+// package fails lint.
+func TestDurablefs(t *testing.T) {
+	linttest.Run(t, "durablefs/wal", lint.Durablefs)
+}
+
+// TestDurablefsDiskExempt: the disk package is the seam itself and may use
+// the raw calls.
+func TestDurablefsDiskExempt(t *testing.T) {
+	linttest.Run(t, "durablefs/disk", lint.Durablefs)
+}

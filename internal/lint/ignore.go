@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"livegraph/internal/lint/analysis"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//lglint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the same line as a finding, or on the line directly above it,
+// suppresses that analyzer's findings there. The reason is mandatory —
+// an ignore that cannot say why it exists is exactly the silent invariant
+// drift lglint is meant to stop — and malformed directives are reported
+// as findings of the pseudo-analyzer "lglint".
+const ignorePrefix = "lglint:ignore"
+
+// IgnoreSet indexes ignore directives by file and line.
+type IgnoreSet struct {
+	// byLine maps file -> line -> analyzer names suppressed there.
+	byLine map[string]map[int][]string
+}
+
+// CollectIgnores scans the files' comments for ignore directives. It
+// returns the directive index plus one diagnostic per malformed directive.
+func CollectIgnores(fset *token.FileSet, files []*ast.File) (*IgnoreSet, []analysis.Diagnostic) {
+	set := &IgnoreSet{byLine: make(map[string]map[int][]string)}
+	var malformed []analysis.Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					malformed = append(malformed, analysis.Diagnostic{
+						Analyzer: "lglint",
+						Pos:      c.Pos(),
+						Message:  "malformed lglint:ignore directive: want //lglint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				if bad := unknownAnalyzer(names); bad != "" {
+					malformed = append(malformed, analysis.Diagnostic{
+						Analyzer: "lglint",
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("lglint:ignore names unknown analyzer %q", bad),
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					set.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return set, malformed
+}
+
+func unknownAnalyzer(names []string) string {
+	for _, n := range names {
+		if n == "all" {
+			continue
+		}
+		known := false
+		for _, a := range All {
+			if a.Name == n {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return n
+		}
+	}
+	return ""
+}
+
+// Suppressed reports whether d is covered by a directive on its line or
+// the line above.
+func (s *IgnoreSet) Suppressed(fset *token.FileSet, d analysis.Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines, ok := s.byLine[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Filter drops suppressed diagnostics.
+func (s *IgnoreSet) Filter(fset *token.FileSet, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if !s.Suppressed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

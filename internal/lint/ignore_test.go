@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"livegraph/internal/lint"
+	"livegraph/internal/lint/linttest"
+)
+
+// TestIgnoreDirectives: valid directives suppress on their own line and
+// the line below; directives naming a different analyzer suppress nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	linttest.Run(t, "ignore/code", lint.Durablefs)
+}
+
+// TestMalformedDirectives: a directive without a reason, or naming an
+// unknown analyzer, is itself a finding and suppresses nothing. Asserted
+// directly because the "lglint" diagnostics sit on the comment lines
+// themselves, where a want comment cannot.
+func TestMalformedDirectives(t *testing.T) {
+	findings := linttest.Findings(t, "ignore/malformed", lint.Ctxprop)
+	var malformed, unknown, ctxprop int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "lglint" && strings.Contains(f.Message, "malformed lglint:ignore"):
+			malformed++
+		case f.Analyzer == "lglint" && strings.Contains(f.Message, `unknown analyzer "nosuchcheck"`):
+			unknown++
+		case f.Analyzer == "ctxprop":
+			ctxprop++
+		default:
+			t.Errorf("unexpected finding at %s: [%s] %s", f.Position, f.Analyzer, f.Message)
+		}
+	}
+	if malformed != 1 || unknown != 1 || ctxprop != 2 {
+		t.Errorf("got %d malformed / %d unknown-analyzer / %d ctxprop findings, want 1/1/2 (all: %+v)",
+			malformed, unknown, ctxprop, findings)
+	}
+}

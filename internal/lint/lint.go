@@ -1,0 +1,185 @@
+// Package lint holds lglint's project-specific analyzers: mechanical
+// checks for the durability, locking and concurrency invariants the
+// engine's correctness argument rests on (paper §5's commit protocol and
+// the crash-consistency rules PR 6 established). Each analyzer enforces
+// one invariant; cmd/lglint runs them all and CI blocks on any finding.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"livegraph/internal/lint/analysis"
+	"livegraph/internal/lint/loader"
+)
+
+// All is every analyzer, in the order lglint runs them.
+var All = []*analysis.Analyzer{
+	Durablefs,
+	Ctxprop,
+	Syncerr,
+	Atomicfield,
+	Lockhold,
+}
+
+// ByName resolves a comma-separated -checks selection against All.
+func ByName(names string) ([]*analysis.Analyzer, bool) {
+	if names == "" || names == "all" {
+		return All, true
+	}
+	var sel []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range All {
+			if a.Name == name {
+				sel = append(sel, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return sel, true
+}
+
+// Finding is one surviving diagnostic with its position resolved.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// Run loads patterns from dir, runs the analyzers, applies
+// //lglint:ignore directives, and returns the surviving findings sorted
+// by position. Malformed ignore directives are themselves findings.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	res, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	prog := analysis.NewProgram(res.Fset, res.Roots, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := prog.RunAll(analyzers); err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, pkg := range res.Roots {
+		files = append(files, pkg.Files...)
+	}
+	ignores, malformed := CollectIgnores(res.Fset, files)
+	diags = ignores.Filter(res.Fset, diags)
+	diags = append(diags, malformed...)
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, Finding{
+			Analyzer: d.Analyzer,
+			Position: res.Fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := findings[i].Position, findings[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return findings, nil
+}
+
+// --- shared type-inspection helpers ---
+
+// callee resolves the function or method a call expression invokes, or nil.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether obj is the package-level function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath string, names ...string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPathBase returns the last element of an import path.
+func pkgPathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// recvNamed returns the named type of a method's receiver (unwrapping one
+// pointer), or nil for package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isMethodOn reports whether fn is a method named one of names on the
+// named type typeName declared in a package whose path's last element is
+// pkgBase (matching both the real module layout and testdata fixtures).
+func isMethodOn(fn *types.Func, pkgBase, typeName string, names ...string) bool {
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Name() != typeName || pkgPathBase(named.Obj().Pkg().Path()) != pkgBase {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether fn's last result is the error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

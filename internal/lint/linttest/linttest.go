@@ -1,0 +1,208 @@
+// Package linttest is a self-contained miniature of
+// golang.org/x/tools/go/analysis/analysistest: it type-checks fixture
+// packages under internal/lint/testdata/src and compares analyzer
+// diagnostics against the fixtures' `// want "regexp"` comments.
+//
+// Fixture import paths keep their directory layout, so the path-scoped
+// analyzers (durablefs, syncerr, lockhold) see the same final path
+// elements — "wal", "disk" — that scope them in the real tree. Fixtures
+// may import both the standard library and this module's packages; both
+// resolve through the export data of a single `go list -deps -export ./...`
+// run per test process.
+package linttest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"livegraph/internal/lint"
+	"livegraph/internal/lint/analysis"
+	"livegraph/internal/lint/loader"
+)
+
+const (
+	fixtureDir   = "internal/lint/testdata/src"
+	importPrefix = "livegraph/internal/lint/testdata/src"
+)
+
+var (
+	loadOnce sync.Once
+	shared   *loader.Result
+	rootDir  string
+	loadErr  error
+)
+
+// load lists and type-checks the module once per test process; every
+// fixture resolves its imports through the resulting export-data index.
+func load(t *testing.T) (*loader.Result, string) {
+	t.Helper()
+	loadOnce.Do(func() {
+		rootDir, loadErr = moduleRoot()
+		if loadErr != nil {
+			return
+		}
+		shared, loadErr = loader.Load(rootDir, "./...")
+	})
+	if loadErr != nil {
+		t.Fatalf("linttest: loading module: %v", loadErr)
+	}
+	return shared, rootDir
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("linttest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// Run checks that the analyzers produce exactly the findings declared by
+// the fixture's `// want "regexp"` comments: every finding must match a
+// want on its line, and every want must be matched by a finding. Ignore
+// directives are applied first, so fixtures exercise the escape hatch
+// end to end; malformed directives surface as analyzer "lglint".
+func Run(t *testing.T, fixture string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	findings, pkg := check(t, fixture, analyzers)
+	wants := parseWants(t, pkg)
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected finding at %s: [%s] %s", f.Position, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s finding matched %q", w.file, w.line, strings.Join(names(analyzers), "/"), w.re)
+		}
+	}
+}
+
+// Findings runs the analyzers over one fixture package and returns the
+// surviving findings for tests that assert directly (e.g. on malformed
+// ignore directives, whose diagnostics sit on comment lines where a want
+// comment cannot).
+func Findings(t *testing.T, fixture string, analyzers ...*analysis.Analyzer) []lint.Finding {
+	t.Helper()
+	findings, _ := check(t, fixture, analyzers)
+	return findings
+}
+
+// check type-checks the fixture as one package and runs the analyzers,
+// returning position-sorted findings after ignore filtering.
+func check(t *testing.T, fixture string, analyzers []*analysis.Analyzer) ([]lint.Finding, *analysis.Package) {
+	t.Helper()
+	res, root := load(t)
+	dir := filepath.Join(root, filepath.FromSlash(fixtureDir), filepath.FromSlash(fixture))
+	pkg, err := res.CheckDir(dir, importPrefix+"/"+fixture)
+	if err != nil {
+		t.Fatalf("linttest: fixture %s: %v", fixture, err)
+	}
+	var diags []analysis.Diagnostic
+	prog := analysis.NewProgram(res.Fset, []*analysis.Package{pkg}, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := prog.RunAll(analyzers); err != nil {
+		t.Fatalf("linttest: fixture %s: %v", fixture, err)
+	}
+	ignores, malformed := lint.CollectIgnores(res.Fset, pkg.Files)
+	diags = ignores.Filter(res.Fset, diags)
+	diags = append(diags, malformed...)
+	findings := make([]lint.Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, lint.Finding{
+			Analyzer: d.Analyzer,
+			Position: res.Fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := findings[i].Position, findings[j].Position
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return findings, pkg
+}
+
+// want is one expected-finding declaration.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantTokenRE matches the quoted or backquoted patterns of a want comment.
+var wantTokenRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts `// want "re" ["re" ...]` expectations, anchored to
+// the comment's own line (trailing comments share the finding's line).
+func parseWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				toks := wantTokenRE.FindAllString(text, -1)
+				if len(toks) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, tok := range toks {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, tok, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched want covering f, if any.
+func claim(wants []*want, f lint.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Position.Filename && w.line == f.Position.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func names(analyzers []*analysis.Analyzer) []string {
+	out := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		out[i] = a.Name
+	}
+	return out
+}

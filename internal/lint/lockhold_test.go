@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"livegraph/internal/lint"
+	"livegraph/internal/lint/linttest"
+)
+
+func TestLockhold(t *testing.T) {
+	linttest.Run(t, "lockhold/locks", lint.Lockhold)
+}

@@ -1,0 +1,31 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"livegraph/internal/lint"
+)
+
+// TestRepoLintClean pins the zero-finding baseline: the whole repository,
+// under all five analyzers, produces no findings. Any new violation of a
+// durability/locking/concurrency invariant fails this test as well as the
+// CI lint job.
+func TestRepoLintClean(t *testing.T) {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(dir)) // internal/lint -> repo root
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("expected module root at %s: %v", root, err)
+	}
+	findings, err := lint.Run(root, []string{"./..."}, lint.All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+	}
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"livegraph/internal/lint"
+	"livegraph/internal/lint/linttest"
+)
+
+func TestSyncerr(t *testing.T) {
+	linttest.Run(t, "syncerr/wal", lint.Syncerr)
+}
+
+// TestSyncerrScope: the invariant is about the durability layer's commit
+// ack, so packages outside wal/disk are out of scope.
+func TestSyncerrScope(t *testing.T) {
+	linttest.Run(t, "syncerr/other", lint.Syncerr)
+}

@@ -1,0 +1,28 @@
+// Fixture: a field reached through sync/atomic anywhere must be atomic
+// everywhere. The plain read lives in a second file of the package to
+// prove the analysis is cross-file.
+package counter
+
+import "sync/atomic"
+
+type stats struct {
+	commits int64
+	aborts  int64
+}
+
+func newStats() *stats {
+	return &stats{commits: 0} // struct-literal init precedes publication: allowed
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.commits, 1)
+}
+
+func (s *stats) loadAtomic() int64 {
+	return atomic.LoadInt64(&s.commits) // the atomic API itself: allowed
+}
+
+func (s *stats) abortsPlain() int64 {
+	s.aborts++ // only ever plain: allowed
+	return s.aborts
+}

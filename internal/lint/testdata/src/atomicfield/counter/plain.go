@@ -1,0 +1,9 @@
+package counter
+
+func (s *stats) readPlain() int64 {
+	return s.commits // want `plain access to field .*\.stats\.commits, which is accessed with sync/atomic`
+}
+
+func (s *stats) writePlain() {
+	s.commits = 0 // want `plain access to field .*\.stats\.commits`
+}

@@ -1,0 +1,16 @@
+// Fixture: minting root contexts in a library package.
+package lib
+
+import "context"
+
+func detached() context.Context {
+	return context.Background() // want `context\.Background in library code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO in library code`
+}
+
+func propagated(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx) // deriving from the caller's context is the point
+}

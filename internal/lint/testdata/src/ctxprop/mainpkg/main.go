@@ -1,0 +1,10 @@
+// Fixture: package main owns the process lifetime and may mint the root
+// context — no findings here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,20 @@
+// Fixture: the seam itself (final path element "disk") may use the raw
+// os calls — it is where the fsync discipline lives.
+package disk
+
+import "os"
+
+func swap(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}

@@ -1,0 +1,31 @@
+// Fixture: raw os mutation in a non-disk package (final path element
+// "wal", like the real WAL). This is the acceptance regression: putting
+// os.Rename back into the WAL must fail lint.
+package wal
+
+import "os"
+
+func swapSegment(tmp, final string) error {
+	f, err := os.Create(tmp) // want `os\.Create bypasses the crash-consistency seam`
+	if err != nil {
+		return err
+	}
+	_ = f.Close()
+	return os.Rename(tmp, final) // want `os\.Rename bypasses the crash-consistency seam`
+}
+
+func writeMeta(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `os\.WriteFile bypasses the crash-consistency seam`
+}
+
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND, 0o644) // want `os\.OpenFile bypasses the crash-consistency seam`
+}
+
+func drop(path string) error {
+	return os.Remove(path) // want `os\.Remove bypasses the crash-consistency seam`
+}
+
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path) // reads cannot lose durable state: allowed
+}

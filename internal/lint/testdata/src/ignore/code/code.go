@@ -1,0 +1,23 @@
+// Fixture: the //lglint:ignore escape hatch — line-above and same-line
+// placement both suppress; an undirected finding still fires.
+package code
+
+import "os"
+
+func suppressedAbove(tmp, final string) error {
+	//lglint:ignore durablefs fixture output is deliberately non-durable
+	return os.Rename(tmp, final)
+}
+
+func suppressedSameLine(path string) error {
+	return os.Remove(path) //lglint:ignore durablefs fixture output is deliberately non-durable
+}
+
+func unsuppressed(path string) error {
+	return os.Remove(path) // want `os\.Remove bypasses the crash-consistency seam`
+}
+
+func wrongAnalyzer(path string) error {
+	//lglint:ignore ctxprop directive names a different analyzer, so durablefs still fires
+	return os.Remove(path) // want `os\.Remove bypasses the crash-consistency seam`
+}

@@ -1,0 +1,15 @@
+// Fixture: malformed ignore directives are findings themselves and
+// suppress nothing.
+package malformed
+
+import "context"
+
+func noReason() context.Context {
+	//lglint:ignore ctxprop
+	return context.Background()
+}
+
+func unknownAnalyzer() context.Context {
+	//lglint:ignore nosuchcheck because of reasons
+	return context.TODO()
+}

@@ -1,0 +1,62 @@
+// Fixture: blocking operations inside a LockTable hold window. Imports
+// the real mvcc and disk packages so the analyzer matches the same types
+// it sees in the engine.
+package locks
+
+import (
+	"time"
+
+	"livegraph/internal/disk"
+	"livegraph/internal/mvcc"
+)
+
+func sendWhileHeld(lt *mvcc.LockTable, ch chan int, v uint64) {
+	lt.Lock(v)
+	ch <- 1 // want `channel send while holding mvcc vertex/stripe lock`
+	lt.Unlock(v)
+}
+
+func recvWhileHeld(lt *mvcc.LockTable, ch chan int, v uint64) int {
+	lt.Lock(v)
+	defer lt.Unlock(v)
+	return <-ch // want `channel receive while holding mvcc vertex/stripe lock`
+}
+
+func sleepAfterRelease(lt *mvcc.LockTable, v uint64) {
+	lt.Lock(v)
+	lt.Unlock(v)
+	time.Sleep(time.Millisecond) // lock already released: allowed
+}
+
+func deferredUnlockHoldsToEnd(lt *mvcc.LockTable, v uint64) {
+	if !lt.TryLock(v, time.Millisecond) {
+		return
+	}
+	defer lt.Unlock(v)
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding mvcc vertex/stripe lock`
+}
+
+func diskWhileHeld(lt *mvcc.LockTable, v uint64, dir string) {
+	lt.Lock(v)
+	defer lt.Unlock(v)
+	_ = disk.SyncDir(dir) // want `disk I/O \(SyncDir\) while holding mvcc vertex/stripe lock`
+}
+
+func nestedBlockingLock(lt *mvcc.LockTable, v, w uint64) {
+	lt.Lock(v)
+	lt.Lock(w) // want `nested blocking LockTable\.Lock while holding`
+	lt.Unlock(w)
+	lt.Unlock(v)
+}
+
+func singleLockIsFine(lt *mvcc.LockTable, v uint64) {
+	lt.Lock(v) // first acquire blocks on nothing held: allowed
+	lt.Unlock(v)
+}
+
+func blockInOwnLiteral(lt *mvcc.LockTable, ch chan int, v uint64) {
+	lt.Lock(v)
+	f := func() { <-ch } // separate scope: the literal body holds nothing
+	lt.Unlock(v)
+	f()
+}

@@ -1,0 +1,10 @@
+// Fixture: the same dropped Close outside the wal/disk durability layer
+// is not syncerr's business (errcheck-style hygiene elsewhere is out of
+// scope for the commit-ack invariant).
+package other
+
+import "os"
+
+func closeDropped(f *os.File) {
+	f.Close()
+}

@@ -1,0 +1,39 @@
+// Fixture: dropped durability-critical errors in a package whose final
+// path element is "wal" — in scope for syncerr.
+package wal
+
+import "os"
+
+func closeDropped(f *os.File) {
+	f.Close() // want `error result of \(\*os\.File\)\.Close is dropped; handle it`
+}
+
+func closeDeferred(f *os.File) {
+	defer f.Close() // want `\(\*os\.File\)\.Close is dropped in defer`
+}
+
+func closeGo(f *os.File) {
+	go f.Close() // want `\(\*os\.File\)\.Close is dropped in go statement`
+}
+
+func syncDropped(f *os.File) {
+	f.Sync() // want `error result of \(\*os\.File\)\.Sync is dropped`
+}
+
+func discarded(f *os.File) {
+	_ = f.Close() // explicit discard is deliberate and auditable: allowed
+}
+
+func handled(f *os.File) error {
+	return f.Sync() // returned to the caller: allowed
+}
+
+func checked(f *os.File) {
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+}
+
+func otherName(f *os.File) {
+	f.Chmod(0o644) // error-returning but not durability-critical: allowed
+}

@@ -220,9 +220,10 @@ var ErrLockTimeout = errors.New("mvcc: lock wait timed out")
 
 // TryLock attempts to lock vertex v, spinning and yielding until the
 // deadline. It returns false on timeout (caller must abort and may retry
-// the whole transaction).
+// the whole transaction). Unlike TryLockCtx it is bounded by the timeout
+// alone — there is no context to mint, so none is.
 func (lt *LockTable) TryLock(v uint64, timeout time.Duration) bool {
-	return lt.TryLockCtx(context.Background(), v, timeout) == nil
+	return lt.tryLock(nil, nil, v, timeout) == nil
 }
 
 // TryLockCtx is TryLock with cancellation: it returns nil once the lock is
@@ -230,11 +231,16 @@ func (lt *LockTable) TryLock(v uint64, timeout time.Duration) bool {
 // timeout. The spin loop's backoff is capped well below typical deadlines,
 // so cancellation is observed promptly even under contention.
 func (lt *LockTable) TryLockCtx(ctx context.Context, v uint64, timeout time.Duration) error {
+	return lt.tryLock(ctx.Done(), ctx.Err, v, timeout)
+}
+
+// tryLock is the shared spin loop. done and ctxErr are the cancellation
+// signal and its error source (both nil for the uncancellable TryLock).
+func (lt *LockTable) tryLock(done <-chan struct{}, ctxErr func() error, v uint64, timeout time.Duration) error {
 	s := lt.stripe(v)
 	if s.mu.TryLock() {
 		return nil
 	}
-	done := ctx.Done()
 	deadline := time.Now().Add(timeout)
 	backoff := time.Microsecond
 	for {
@@ -243,7 +249,7 @@ func (lt *LockTable) TryLockCtx(ctx context.Context, v uint64, timeout time.Dura
 		}
 		select {
 		case <-done:
-			return ctx.Err()
+			return ctxErr()
 		default:
 		}
 		if time.Now().After(deadline) {

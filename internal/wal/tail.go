@@ -449,7 +449,9 @@ func (s *tailShard) fill() error {
 
 func (s *tailShard) close() {
 	if s.f != nil {
-		s.f.Close()
+		// Read-only tail handle: the tailer never writes, so a Close
+		// failure cannot affect durability.
+		_ = s.f.Close()
 		s.f = nil
 	}
 }

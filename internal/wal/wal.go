@@ -315,14 +315,14 @@ func OpenSharded(dir string, seq, shards int, backend disk.Backend) (*ShardedLog
 		l, err := Open(ShardPath(dir, seq, s), backend, disk.LogGeometry{Seq: seq, Shard: s, Shards: shards})
 		if err != nil {
 			for _, open := range sl.logs[:s] {
-				open.Close()
+				_ = open.Close() // unwinding a failed segment open: err wins
 			}
 			return nil, err
 		}
 		sl.logs[s] = l
 	}
 	if err := backend.SyncDir(dir); err != nil {
-		sl.Close()
+		_ = sl.Close() // the segment is unusable either way: the dir-fsync error wins
 		return nil, fmt.Errorf("wal: fsync dir after segment create: %w", err)
 	}
 	return sl, nil
@@ -579,7 +579,7 @@ func openSegReader(path string) (*segReader, error) {
 	sr := &segReader{f: f, r: bufio.NewReaderSize(f, 1<<20)}
 	_, empty, err := skipSuperblock(sr.r, path)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // read-only replay handle; the superblock error wins
 		return nil, err
 	}
 	if empty {
@@ -605,7 +605,9 @@ func (sr *segReader) next() {
 
 func (sr *segReader) close() {
 	if sr.f != nil {
-		sr.f.Close()
+		// Read-only replay handle: nothing was written, so a Close failure
+		// cannot affect durability.
+		_ = sr.f.Close()
 	}
 }
 

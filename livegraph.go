@@ -235,6 +235,7 @@ func IsRetryable(err error) bool { return core.IsRetryable(err) }
 // maxRetries times. fn must be idempotent. If fn returns an error the
 // transaction is aborted and the error returned.
 func Update(g *Graph, maxRetries int, fn func(tx *Tx) error) error {
+	//lglint:ignore ctxprop public convenience wrapper; ctx-aware callers use UpdateCtx
 	return UpdateCtx(context.Background(), g, maxRetries, fn)
 }
 
@@ -271,6 +272,7 @@ func UpdateCtx(ctx context.Context, g *Graph, maxRetries int, fn func(tx *Tx) er
 
 // View runs fn in a read-only snapshot transaction.
 func View(g *Graph, fn func(tx *Tx) error) error {
+	//lglint:ignore ctxprop public convenience wrapper; ctx-aware callers use ViewCtx
 	return ViewCtx(context.Background(), g, fn)
 }
 
