@@ -99,16 +99,16 @@ func (g *Graph) applyOpLive(op walOp, epoch int64) {
 		g.bumpNextVertex(int64(op.v))
 		g.bumpNextVertex(int64(op.dst))
 		g.locks.Lock(uint64(op.v))
-		g.replayEdge(g.replH, op.op, op.v, op.label, op.dst, op.data, epoch, true)
+		// replayEdge reports the exact bytes an invalidated prior
+		// version turned into garbage (0 for true insertions).
+		dead := g.replayEdge(g.replH, op.op, op.v, op.label, op.dst, op.data, epoch, true)
 		g.locks.Unlock(uint64(op.v))
-		var dead int64
-		if op.op != opInsertEdge {
-			// Upserts and deletes invalidate a prior version; true
-			// insertions create no garbage.
-			dead = entryDeadBytes + int64(len(op.data))
-		}
 		g.markDirty(op.v, dead)
 	}
+	// Applied under applyMu — the same mutex a follower Checkpoint holds
+	// while draining — so the journal mark and the change's visibility
+	// are atomic with respect to the checkpoint boundary.
+	g.markCkptDirty(op.v)
 }
 
 // bumpNextVertex raises the vertex-ID frontier to cover id. CAS because

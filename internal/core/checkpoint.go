@@ -12,6 +12,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"livegraph/internal/wal"
 )
@@ -22,12 +23,15 @@ var ckptMagic = []byte("LGCKPT1\n")
 // named stage of the checkpoint swap protocol. Returning an error aborts
 // the checkpoint at exactly that point — the iosim equivalent of dying
 // there — and the real-backend tests os.Exit inside the hook instead.
-// Stages, in protocol order:
+// Stages, in protocol order (a full checkpoint passes through the snap-*
+// stages, a delta checkpoint through the delta-* stages):
 //
-//	snap-tmp     snapshot streamed to ckpt-E.snap.tmp; final path untouched
-//	snap-durable snapshot renamed into place and durable; meta still old
-//	meta-durable CHECKPOINT points at the new snapshot; prune not started
-//	pruned       superseded segments and old snapshots removed
+//	snap-tmp      snapshot streamed to ckpt-E.snap.tmp; final path untouched
+//	snap-durable  snapshot renamed into place and durable; meta still old
+//	delta-tmp     delta streamed to ckpt-E.delta.tmp; final path untouched
+//	delta-durable delta renamed into place and durable; meta still old
+//	meta-durable  CHECKPOINT references the new file; prune not started
+//	pruned        superseded segments and unreferenced ckpt files removed
 var ckptCrashHook func(stage string) error
 
 func ckptStage(stage string) error {
@@ -37,11 +41,16 @@ func ckptStage(stage string) error {
 	return nil
 }
 
-// Checkpoint dumps the latest consistent snapshot to a checkpoint file in
-// the graph's directory, records it as the recovery root, and prunes WAL
-// segments it supersedes. The dump runs concurrently with foreground
-// transactions (it holds only a snapshot); only the WAL segment rotation is
-// a brief quiescent point.
+// Checkpoint persists the latest consistent snapshot as the recovery root
+// and prunes WAL segments it supersedes. When a base snapshot exists and
+// the checkpoint-scoped dirty journal covers only a small fraction of the
+// graph, the checkpoint is incremental: only the changed vertices are
+// streamed into a delta file chained from the base (see ckpt_delta.go);
+// otherwise — first checkpoint, chain at MaxChain, dirty fraction at the
+// rebase threshold, or Ckpt.DisableDelta — a fresh full snapshot rebases
+// the chain. The dump runs concurrently with foreground transactions (it
+// holds only a snapshot); only the WAL rotation and journal drain are a
+// brief quiescent point.
 func (g *Graph) Checkpoint() error {
 	if g.opts.Dir == "" {
 		return fmt.Errorf("livegraph: checkpoint requires a durable graph (Options.Dir)")
@@ -56,26 +65,44 @@ func (g *Graph) Checkpoint() error {
 	if g.epochs.ReadEpoch() == g.lastCkptEpoch.Load() {
 		return nil
 	}
-	// Compact before dumping: draining the dirty set drops dead entries
-	// and right-sizes blocks, so the snapshot file only carries live
-	// state. A full pass holds one vertex lock at a time, so foreground
-	// transactions keep committing throughout.
-	g.CompactNow()
-	// Rotate the WAL under the committer's batch mutex: no commit group
-	// is in flight, so every record in the old segments has epoch <= E.
-	// The explicit PublishRead barrier pins the quiescence invariant —
-	// everything durable is also published (GRE >= DurableEpoch) at the
-	// rotation point. Today the leader publishes before releasing the
-	// mutex so this never blocks; if commit groups ever pipeline past
-	// the leader lock, the barrier keeps this rotation point correct.
-	// (GWE would be the wrong target: a group whose persist failed
-	// advances GWE but is never published.)
+	// Compact before a FULL dump: draining the dirty set drops dead
+	// entries and right-sizes blocks, so the snapshot file only carries
+	// live state. A full pass holds one vertex lock at a time, so
+	// foreground transactions keep committing throughout. The incremental
+	// path skips this on purpose — a whole-graph compaction pass under a
+	// small delta would put the O(|V|) cost the delta exists to avoid
+	// right back on the checkpoint, and the snapshot scan skips dead
+	// entries regardless. The prediction is a racy peek at the journal;
+	// the authoritative full-vs-delta decision happens on the drained
+	// count below, and a mispredicted full is merely a less-compact dump.
+	if g.ckptBase == 0 || g.opts.Ckpt.DisableDelta ||
+		len(g.ckptDeltas) >= g.opts.Ckpt.MaxChain ||
+		float64(g.ckptDirty.Len()) >= g.opts.Ckpt.RebaseFraction*float64(g.NumVertices()) {
+		g.CompactNow()
+	}
+	// Quiescent point. applyMu first (a follower's changes land under it),
+	// then the committer's batch mutex: with both held no change can become
+	// visible, so the snapshot, the WAL rotation, and the dirty-journal
+	// drain below all cut the history at exactly the same epoch. Nothing
+	// that holds commit.mu ever takes applyMu, so the ordering is safe.
+	//
+	// Rotating under commit.mu means no commit group is in flight, so
+	// every record in the old segments has epoch <= E. The explicit
+	// PublishRead barrier pins the quiescence invariant — everything
+	// durable is also published (GRE >= DurableEpoch) at the rotation
+	// point. Today the leader publishes before releasing the mutex so this
+	// never blocks; if commit groups ever pipeline past the leader lock,
+	// the barrier keeps this rotation point correct. (GWE would be the
+	// wrong target: a group whose persist failed advances GWE but is never
+	// published.)
+	g.applyMu.Lock()
 	g.commit.mu.Lock()
 	g.epochs.WaitRead(g.log.Load().DurableEpoch())
 	epoch := g.epochs.ReadEpoch()
 	oldSegs, err := g.rotateWALLocked()
 	if err != nil {
 		g.commit.mu.Unlock()
+		g.applyMu.Unlock()
 		return err
 	}
 	// Capture while the committer mutex still pins g.walSeq: the meta's
@@ -84,17 +111,68 @@ func (g *Graph) Checkpoint() error {
 	snap, err := g.Snapshot()
 	if err != nil {
 		g.commit.mu.Unlock()
+		g.applyMu.Unlock()
 		return err
 	}
+	// Drain the checkpoint journal at the same cut: marks happen only at
+	// apply time under one of the two mutexes held here, so the drain
+	// takes exactly the changes the snapshot sees — never a mark whose
+	// change is still uncommitted.
+	drained := g.ckptDirty.Drain(int(g.ckptDirty.Len()), nil)
 	g.commit.mu.Unlock()
+	g.applyMu.Unlock()
 	defer snap.Release()
 
-	path := filepath.Join(g.opts.Dir, fmt.Sprintf("ckpt-%d.snap", epoch))
-	if err := g.writeCheckpoint(path, epoch, snap); err != nil {
-		return err
-	}
-	if err := ckptStage("snap-durable"); err != nil {
-		return err
+	// If anything below fails, the drained marks must go back: their
+	// changes are not yet captured by any durable checkpoint, and losing
+	// the marks would silently drop those vertices from every delta until
+	// the next rebase.
+	committed := false
+	defer func() {
+		if !committed {
+			for _, d := range drained {
+				g.ckptDirty.Mark(d.ID, 0)
+			}
+		}
+	}()
+
+	start := time.Now()
+	full := g.ckptBase == 0 || g.opts.Ckpt.DisableDelta ||
+		len(g.ckptDeltas) >= g.opts.Ckpt.MaxChain ||
+		float64(len(drained)) >= g.opts.Ckpt.RebaseFraction*float64(snap.NumVertices())
+
+	var (
+		baseName    string
+		baseEpoch   int64
+		deltaEpochs []int64
+		written     int64
+	)
+	if full {
+		path := filepath.Join(g.opts.Dir, fmt.Sprintf("ckpt-%d.snap", epoch))
+		written, err = g.writeCheckpoint(path, epoch, snap)
+		if err != nil {
+			return err
+		}
+		if err := ckptStage("snap-durable"); err != nil {
+			return err
+		}
+		baseName, baseEpoch = filepath.Base(path), epoch
+	} else {
+		prevEpoch := g.ckptBase
+		if n := len(g.ckptDeltas); n > 0 {
+			prevEpoch = g.ckptDeltas[n-1]
+		}
+		path := filepath.Join(g.opts.Dir, deltaFileName(epoch))
+		written, err = g.writeDelta(path, g.ckptBase, prevEpoch, epoch, snap, drained)
+		if err != nil {
+			return err
+		}
+		if err := ckptStage("delta-durable"); err != nil {
+			return err
+		}
+		// The meta's Path always names the base snapshot, full or delta.
+		baseName, baseEpoch = fmt.Sprintf("ckpt-%d.snap", g.ckptBase), g.ckptBase
+		deltaEpochs = append(append([]int64(nil), g.ckptDeltas...), epoch)
 	}
 	// The rotation point was quiescent (GRE == GWE), so every shard is
 	// superseded up to the same epoch; the meta still records it per
@@ -106,33 +184,44 @@ func (g *Graph) Checkpoint() error {
 	for s := range trunc {
 		trunc[s] = epoch
 	}
-	meta := wal.CheckpointMeta{Epoch: epoch, Path: filepath.Base(path), MinWALSeq: minSeq, ShardTruncEpochs: trunc}
+	meta := wal.CheckpointMeta{
+		Epoch:            epoch,
+		BaseEpoch:        baseEpoch,
+		Path:             baseName,
+		MinWALSeq:        minSeq,
+		ShardTruncEpochs: trunc,
+		DeltaEpochs:      deltaEpochs,
+	}
 	if err := wal.WriteCheckpointMeta(g.opts.Dir, meta); err != nil {
 		return err
 	}
 	if err := ckptStage("meta-durable"); err != nil {
 		return err
 	}
-	// The checkpoint is the recovery root now; reset the eligibility
-	// gauges before the best-effort prune (a crash below re-prunes on
-	// recovery, it does not re-checkpoint).
+	// The checkpoint is the recovery root now; commit the in-memory chain
+	// view and reset the eligibility gauges before the best-effort prune
+	// (a crash below re-prunes on recovery, it does not re-checkpoint).
+	committed = true
+	g.ckptBase = baseEpoch
+	g.ckptDeltas = deltaEpochs
 	g.lastCkptEpoch.Store(epoch)
 	g.dirtySinceCkpt.Store(0)
-	// Prune superseded segments and older checkpoints.
-	for _, s := range oldSegs {
-		g.opts.Backend.Remove(s)
+	if full {
+		g.ckptStats.Fulls.Add(1)
+	} else {
+		g.ckptStats.Deltas.Add(1)
 	}
-	g.pruneOldCheckpoints(path)
-	return ckptStage("pruned")
-}
-
-func (g *Graph) pruneOldCheckpoints(keep string) {
-	matches, _ := filepath.Glob(filepath.Join(g.opts.Dir, "ckpt-*.snap"))
-	for _, m := range matches {
-		if m != keep {
-			g.opts.Backend.Remove(m)
+	g.ckptStats.LastNanos.Store(time.Since(start).Nanoseconds())
+	g.ckptStats.LastBytes.Store(written)
+	g.ckptStats.ChainLen.Store(int64(len(deltaEpochs)))
+	// Prune superseded segments and unreferenced checkpoint files.
+	for _, s := range oldSegs {
+		if err := g.opts.Backend.Remove(s); err != nil {
+			g.ckptStats.PruneErrors.Add(1)
 		}
 	}
+	g.pruneCheckpointFiles(baseName, deltaEpochs)
+	return ckptStage("pruned")
 }
 
 // rotateWALLocked closes the current WAL segment (all shards) and opens
@@ -175,12 +264,15 @@ func (g *Graph) rotateWALLocked() ([]string, error) {
 //	then per existing vertex: id, flags, data, numLabels,
 //	  per label: label, numEdges, per edge: dst, propLen, props
 //	terminated by id = -1.
-func (g *Graph) writeCheckpoint(path string, epoch int64, snap *Snapshot) error {
+//
+// Returns the byte count streamed (the ckpt_last_bytes gauge).
+func (g *Graph) writeCheckpoint(path string, epoch int64, snap *Snapshot) (int64, error) {
 	af, err := g.opts.Backend.CreateAtomic(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	w := bufio.NewWriterSize(af, 1<<20)
+	cw := &countingWriter{w: af}
+	w := bufio.NewWriterSize(cw, 1<<20)
 	w.Write(ckptMagic)
 	var scratch [binary.MaxVarintLen64]byte
 	putV := func(x int64) {
@@ -227,14 +319,17 @@ func (g *Graph) writeCheckpoint(path string, epoch int64, snap *Snapshot) error 
 	putV(-1)
 	if err := w.Flush(); err != nil {
 		af.Abort()
-		return err
+		return 0, err
 	}
 	if err := ckptStage("snap-tmp"); err != nil {
 		// Simulated crash: leave the temp file exactly as a real crash
 		// would — present, unrenamed, for recovery's stray-tmp sweep.
-		return err
+		return 0, err
 	}
-	return af.Commit()
+	if err := af.Commit(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
 }
 
 // loadCheckpoint rebuilds graph state from a checkpoint file, stamping

@@ -16,6 +16,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
 	"livegraph/internal/disk"
@@ -83,7 +84,7 @@ func verifyEdges(t *testing.T, g *Graph, n int) {
 
 func assertNoStrayTmp(t *testing.T, dir string) {
 	t.Helper()
-	for _, pat := range []string{"*.snap.tmp", "CHECKPOINT.tmp"} {
+	for _, pat := range []string{"*.snap.tmp", "*.delta.tmp", "CHECKPOINT.tmp"} {
 		if strays, _ := filepath.Glob(filepath.Join(dir, pat)); len(strays) > 0 {
 			t.Fatalf("stray temp files after recovery: %v", strays)
 		}
@@ -181,7 +182,8 @@ func TestCheckpointSkipsWhenClean(t *testing.T) {
 		t.Fatalf("clean checkpoint was not skipped: snaps %d->%d, segs %d->%d",
 			len(snaps1), len(snaps2), len(segs1), len(segs2))
 	}
-	// New commits re-arm it.
+	// New commits re-arm it. A tiny change on an existing base produces an
+	// incremental checkpoint: the base snapshot stays, a delta appears.
 	tx, _ := g.Begin()
 	tx.InsertEdge(0, 0, 5555, nil)
 	if err := tx.Commit(); err != nil {
@@ -191,8 +193,12 @@ func TestCheckpointSkipsWhenClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	snaps3, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.snap"))
-	if len(snaps3) != 1 || snaps3[0] == snaps1[0] {
-		t.Fatalf("dirty checkpoint did not produce a new snapshot: %v vs %v", snaps3, snaps1)
+	deltas3, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.delta"))
+	if len(snaps3) != 1 || snaps3[0] != snaps1[0] {
+		t.Fatalf("incremental checkpoint should keep the base snapshot: %v vs %v", snaps3, snaps1)
+	}
+	if len(deltas3) != 1 {
+		t.Fatalf("dirty checkpoint did not produce a delta: %v", deltas3)
 	}
 }
 
@@ -208,8 +214,14 @@ func TestRealCrashChild(t *testing.T) {
 		t.Skip("re-exec child only")
 	}
 	dir := os.Getenv("LG_CRASH_DIR")
+	// Delta stages pin the incremental path open (rebase never triggers);
+	// other modes run the defaults.
+	var ck CkptOptions
+	if strings.HasPrefix(mode, "delta-") {
+		ck = CkptOptions{RebaseFraction: 1, MaxChain: 64}
+	}
 	g, err := Open(Options{Dir: dir, Backend: disk.NewRealOpts(disk.RealOptions{SegBytes: 4096}),
-		WALShards: 4, Workers: 32, CompactEvery: -1})
+		WALShards: 4, Workers: 32, CompactEvery: -1, Ckpt: ck})
 	if err != nil {
 		t.Fatalf("child open: %v", err)
 	}
@@ -225,6 +237,29 @@ func TestRealCrashChild(t *testing.T) {
 		// Die right after the last acknowledged commit.
 		writeExpect()
 		os.Exit(0)
+	case "delta-tmp", "delta-durable":
+		// Base checkpoint, more commits, then die inside the delta swap.
+		if err := g.Checkpoint(); err != nil {
+			t.Fatalf("child base checkpoint: %v", err)
+		}
+		for k := 13; k <= 16; k++ {
+			tx, _ := g.Begin()
+			for _, e := range crashEdges(k) {
+				tx.InsertEdge(e[0], 0, e[1], []byte{byte(k)})
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("child commit k=%d: %v", k, err)
+			}
+		}
+		writeExpect()
+		ckptCrashHook = func(s string) error {
+			if s == mode {
+				os.Exit(0)
+			}
+			return nil
+		}
+		g.Checkpoint()
+		t.Fatalf("child survived delta checkpoint stage %q", mode)
 	default:
 		// mode names a checkpoint stage: die exactly there.
 		writeExpect()
@@ -263,7 +298,11 @@ func runRealCrashChild(t *testing.T, mode string) {
 	if got := g.ReadEpoch(); got != want {
 		t.Fatalf("recovered to epoch %d, want acknowledged epoch %d", got, want)
 	}
-	verifyEdges(t, g, 12)
+	lastK := 12
+	if strings.HasPrefix(mode, "delta-") {
+		lastK = 16 // delta children commit past the base checkpoint
+	}
+	verifyEdges(t, g, lastK)
 	assertNoStrayTmp(t, dir)
 	tx, _ := g.Begin()
 	if err := tx.InsertEdge(0, 0, 9999, nil); err != nil {
@@ -281,8 +320,11 @@ func TestRealBackendProcessCrashMatrix(t *testing.T) {
 	// abrupt: process dies with acknowledged commits in the mmap'd WAL and
 	// no tail trim — recovery must parse the preallocated zero tail as EOF
 	// and keep everything acknowledged. The stages kill the child inside
-	// the checkpoint swap protocol at each window.
-	for _, mode := range append([]string{"abrupt"}, ckptStages...) {
+	// the checkpoint swap protocol at each window, full and delta paths
+	// both.
+	modes := append([]string{"abrupt"}, ckptStages...)
+	modes = append(modes, "delta-tmp", "delta-durable")
+	for _, mode := range modes {
 		t.Run(mode, func(t *testing.T) { runRealCrashChild(t, mode) })
 	}
 }

@@ -1,0 +1,307 @@
+package core
+
+// Delta checkpoints: instead of re-dumping the whole graph every time,
+// Checkpoint drains the checkpoint-scoped dirty journal (the set of
+// vertices changed since the last completed checkpoint) and streams only
+// those vertices into a `ckpt-E.delta` file chained from the last full
+// snapshot. Recovery loads the base snapshot and replays the delta chain
+// in order; a periodic rebase (chain length or dirty-fraction trigger)
+// rewrites a fresh full snapshot and prunes the chain, bounding both
+// recovery time and the cost of carrying deleted state forward.
+//
+// A delta record is the vertex's complete state at the delta's epoch —
+// payload, every label, every live edge — not an op log. Loading one
+// therefore starts by erasing whatever the base (or an earlier delta)
+// said about the vertex: full per-vertex replacement is what lets a
+// delta express deletions without a tombstone grammar, and what makes
+// chain replay order-insensitive per vertex (last delta wins).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"livegraph/internal/maint"
+)
+
+var deltaMagic = []byte("LGDLT1\n")
+
+// CkptOptions tunes the incremental checkpointer (Options.Ckpt).
+type CkptOptions struct {
+	// RebaseFraction is the dirty-fraction rebase trigger: when at least
+	// this fraction of all vertices changed since the last checkpoint, a
+	// delta would approach the size of a full snapshot while still paying
+	// chain-replay cost at recovery — so a fresh full snapshot is written
+	// instead. Defaults to 0.25; values above 1 are clamped to 1 (rebase
+	// only on the chain-length trigger).
+	RebaseFraction float64
+
+	// MaxChain caps how many deltas may hang off one base snapshot before
+	// a rebase is forced; recovery replays the whole chain, so this bounds
+	// recovery time. Defaults to 8.
+	MaxChain int
+
+	// DisableDelta forces every checkpoint to be a full snapshot (the
+	// pre-incremental behaviour).
+	DisableDelta bool
+}
+
+func (o *CkptOptions) fill() {
+	if o.RebaseFraction <= 0 {
+		o.RebaseFraction = 0.25
+	}
+	if o.RebaseFraction > 1 {
+		o.RebaseFraction = 1
+	}
+	if o.MaxChain <= 0 {
+		o.MaxChain = 8
+	}
+}
+
+func deltaFileName(epoch int64) string {
+	return fmt.Sprintf("ckpt-%d.delta", epoch)
+}
+
+// countingWriter counts the bytes streamed through it so the checkpointer
+// can report exactly what each full or delta dump cost (ckpt_last_bytes).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// writeDelta streams the dirty vertices' state at the snapshot's epoch to
+// path under the crash-atomic swap protocol. prevEpoch names the chain
+// element this delta extends (the base snapshot's epoch for the first
+// delta, the preceding delta's epoch after that); the loader verifies the
+// chain links so a stale or reordered delta file can never be replayed.
+// Format:
+//
+//	magic, baseEpoch, prevEpoch, epoch, nextVertexID,
+//	then per dirty vertex (ascending ID): id, flags, data, numLabels,
+//	  per label: label, numEdges, per edge: dst, propLen, props
+//	terminated by id = -1.
+//
+// Unlike the full dump, a vertex with no payload and no edges is still
+// written (flags bit0, zero labels): the record is what erases the
+// vertex's base state at load time.
+func (g *Graph) writeDelta(path string, baseEpoch, prevEpoch, epoch int64, snap *Snapshot, drained []maint.Dirty) (int64, error) {
+	af, err := g.opts.Backend.CreateAtomic(path)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: af}
+	w := bufio.NewWriterSize(cw, 1<<20)
+	w.Write(deltaMagic)
+	var scratch [binary.MaxVarintLen64]byte
+	putV := func(x int64) {
+		n := binary.PutVarint(scratch[:], x)
+		w.Write(scratch[:n])
+	}
+	putV(baseEpoch)
+	putV(prevEpoch)
+	putV(epoch)
+	putV(snap.NumVertices())
+
+	// Sorted ascending: deterministic output (the recovery-equivalence
+	// tests diff delta files) and sequential vindex access.
+	ids := make([]int64, len(drained))
+	for i, d := range drained {
+		ids[i] = d.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, v := range ids {
+		data, ok := snap.VertexData(VertexID(v))
+		putV(v)
+		flags := int64(0)
+		if !ok {
+			flags |= 1 // deleted / absent payload
+		}
+		putV(flags)
+		putV(int64(len(data)))
+		w.Write(data)
+		var labels []*labelEntry
+		if ll := g.eindex.Get(v); ll != nil {
+			if ls := ll.entries.Load(); ls != nil {
+				labels = *ls
+			}
+		}
+		putV(int64(len(labels)))
+		for _, e := range labels {
+			putV(int64(e.label))
+			cnt := snap.Degree(VertexID(v), e.label)
+			putV(int64(cnt))
+			snap.ScanNeighbors(VertexID(v), e.label, func(dst VertexID, props []byte) bool {
+				putV(int64(dst))
+				putV(int64(len(props)))
+				w.Write(props)
+				return true
+			})
+		}
+	}
+	putV(-1)
+	if err := w.Flush(); err != nil {
+		af.Abort()
+		return 0, err
+	}
+	if err := ckptStage("delta-tmp"); err != nil {
+		// Simulated crash: the temp file stays behind, unrenamed, exactly
+		// as a real crash would leave it for recovery's stray-tmp sweep.
+		return 0, err
+	}
+	if err := af.Commit(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// loadDelta replays one delta file during recovery: every vertex record
+// fully replaces that vertex's state — existing TEL blocks are freed, the
+// index slots cleared, then payload and edges are rebuilt stamped with
+// the delta's epoch. Single-threaded (no readers exist yet), mirroring
+// loadCheckpoint.
+func (g *Graph) loadDelta(path string, baseEpoch, prevEpoch, epoch int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(deltaMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != string(deltaMagic) {
+		return fmt.Errorf("livegraph: bad delta magic in %s", path)
+	}
+	getV := func() (int64, error) { return binary.ReadVarint(r) }
+	fileBase, err := getV()
+	if err != nil {
+		return err
+	}
+	filePrev, err := getV()
+	if err != nil {
+		return err
+	}
+	fileEpoch, err := getV()
+	if err != nil {
+		return err
+	}
+	if fileBase != baseEpoch || filePrev != prevEpoch || fileEpoch != epoch {
+		return fmt.Errorf("livegraph: delta chain mismatch in %s: file (base %d, prev %d, epoch %d), meta (base %d, prev %d, epoch %d)",
+			path, fileBase, filePrev, fileEpoch, baseEpoch, prevEpoch, epoch)
+	}
+	nv, err := getV()
+	if err != nil {
+		return err
+	}
+	if nv > g.nextVertex.Load() {
+		g.nextVertex.Store(nv)
+	}
+	h := g.alloc.NewHandle()
+	for {
+		v, err := getV()
+		if err != nil {
+			return fmt.Errorf("livegraph: delta truncated: %w", err)
+		}
+		if v < 0 {
+			return nil
+		}
+		flags, err := getV()
+		if err != nil {
+			return err
+		}
+		dl, err := getV()
+		if err != nil {
+			return err
+		}
+		data := make([]byte, dl)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return err
+		}
+		// Full per-vertex replacement: drop whatever the base or an
+		// earlier delta built for v. During recovery each TEL owns its
+		// block outright (replayEdge frees superseded blocks eagerly), so
+		// a direct free is safe.
+		if ll := g.eindex.Get(v); ll != nil {
+			if ls := ll.entries.Load(); ls != nil {
+				for _, e := range *ls {
+					if t := e.tel.Load(); t != nil {
+						t.Prev = nil
+						h.Free(t.Block)
+					}
+				}
+			}
+			g.eindex.Set(v, nil)
+		}
+		g.vindex.Set(v, nil)
+		if flags&1 == 0 {
+			g.vindex.Set(v, &vertexVersion{ts: epoch, data: data})
+		}
+		nl, err := getV()
+		if err != nil {
+			return err
+		}
+		for li := int64(0); li < nl; li++ {
+			label, err := getV()
+			if err != nil {
+				return err
+			}
+			ne, err := getV()
+			if err != nil {
+				return err
+			}
+			for ei := int64(0); ei < ne; ei++ {
+				dst, err := getV()
+				if err != nil {
+					return err
+				}
+				pl, err := getV()
+				if err != nil {
+					return err
+				}
+				props := make([]byte, pl)
+				if _, err := io.ReadFull(r, props); err != nil {
+					return err
+				}
+				g.replayEdge(h, opInsertEdge, VertexID(v), Label(label), VertexID(dst), props, epoch, false)
+			}
+		}
+	}
+}
+
+// pruneCheckpointFiles removes every ckpt-* file (snapshots and deltas)
+// the given meta does not reference. Used after a successful checkpoint
+// and by recovery's sweep: a crash between a file landing durably and the
+// meta swap — or mid-prune — leaves unreferenced files behind, and a
+// later checkpoint at the same epoch must not collide with them. Remove
+// failures are counted (ckpt_prune_errors), never silently dropped: the
+// files are superseded garbage, but a disk that refuses unlinks is
+// something an operator needs to see.
+func (g *Graph) pruneCheckpointFiles(baseName string, deltaEpochs []int64) {
+	keep := map[string]bool{}
+	if baseName != "" {
+		keep[baseName] = true
+	}
+	for _, de := range deltaEpochs {
+		keep[deltaFileName(de)] = true
+	}
+	for _, pat := range []string{"ckpt-*.snap", "ckpt-*.delta"} {
+		matches, _ := filepath.Glob(filepath.Join(g.opts.Dir, pat))
+		for _, m := range matches {
+			if keep[filepath.Base(m)] {
+				continue
+			}
+			if err := g.opts.Backend.Remove(m); err != nil {
+				g.ckptStats.PruneErrors.Add(1)
+			}
+		}
+	}
+}

@@ -146,18 +146,34 @@ func (c *committer) apply(tx *Tx, twe int64) {
 			dead = entryDeadBytes + int64(len(prev.data))
 		}
 		g.markDirty(v, dead)
+		g.markCkptDirty(v)
 	}
 	// Flip private timestamps to TWE. The paper releases locks before this
 	// conversion; we flip first and release after, because compaction may
 	// otherwise grab the vertex lock mid-flip, relocate the TEL, and strand
 	// the -TID entries in the superseded block. Flips are a handful of
 	// atomic stores, so the extra hold time is negligible.
+	//
+	// Invalidation flips are also where an entry definitively becomes
+	// garbage, so the exact dead bytes (entry words + property payload)
+	// are accumulated here — into the TEL's own counter and the
+	// maintenance dirty set — replacing the write-path size guesses.
 	for _, w := range tx.telWrites {
 		for _, i := range w.appended {
 			w.cur.SetCreation(i, twe)
 		}
+		var dead int64
 		for _, i := range w.invalidated {
 			w.cur.SetInvalidation(i, twe)
+			dead += w.cur.EntryDeadBytes(i)
+		}
+		if dead > 0 {
+			w.cur.AddDeadBytes(dead)
+		}
+		if w.dirty() {
+			src := VertexID(w.cur.Src())
+			g.dirty.Mark(int64(src), dead)
+			g.markCkptDirty(src)
 		}
 	}
 	tx.unlockAll()

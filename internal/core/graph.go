@@ -85,14 +85,20 @@ type Options struct {
 	MaxGroupCommit int
 
 	// WALShards splits the write-ahead log into this many segments. A
-	// commit group's records are partitioned by vertex-ownership shard
-	// and all shards are written and fsynced concurrently (one device
-	// channel each), parallelising the persist phase; epoch advancement
-	// remains a single global sequence point, so isolation is unchanged.
-	// Defaults to 1, the paper's single sequential log; clamped to 64
+	// commit group's records are partitioned by vertex-ownership shard,
+	// written sequentially, and the per-shard sync barriers are fanned
+	// out concurrently (one device channel each), parallelising the
+	// persist phase; epoch advancement remains a single global sequence
+	// point, so isolation is unchanged. Zero selects the backend's
+	// measured default (disk.Backend.DefaultWALShards); clamped to 64
 	// (past the fsync fan-out's useful width, more shards only burn
 	// file handles).
 	WALShards int
+
+	// Ckpt tunes the incremental checkpointer (delta snapshots riding
+	// the checkpoint-scoped dirty journal). The zero value selects the
+	// defaults; Ckpt.DisableDelta forces every checkpoint full.
+	Ckpt CkptOptions
 
 	// TraversalParallelism is the default worker-pool width for the
 	// morsel-driven traversal engine: how many workers a parallel-capable
@@ -131,11 +137,15 @@ func (o *Options) fill() {
 		o.MaxGroupCommit = 256
 	}
 	if o.WALShards <= 0 {
+		o.WALShards = o.Backend.DefaultWALShards()
+	}
+	if o.WALShards <= 0 {
 		o.WALShards = 1
 	}
 	if o.WALShards > 64 {
 		o.WALShards = 64
 	}
+	o.Ckpt.fill()
 }
 
 // vertexVersion is one copy-on-write version of a vertex (paper §3,
@@ -256,6 +266,20 @@ type Graph struct {
 	lastCkptEpoch  atomic.Int64
 	dirtySinceCkpt atomic.Int64
 
+	// ckptDirty is the checkpoint-scoped dirty journal: the set of
+	// vertices changed since the last completed checkpoint, fed at APPLY
+	// time only (committer.apply under commit.mu, applyOpLive under
+	// applyMu, replayOp during single-threaded recovery) and drained by
+	// Checkpoint while holding both mutexes — so a drain can never
+	// consume a mark for a change the checkpoint's snapshot does not yet
+	// see. ckptBase/ckptDeltas (under ckptMu) mirror the durable
+	// CHECKPOINT meta: the base snapshot's epoch and the ordered
+	// delta-chain epochs hanging from it.
+	ckptDirty  *maint.DirtySet
+	ckptBase   int64
+	ckptDeltas []int64
+	ckptStats  metrics.CkptStats
+
 	stats  GraphStats
 	closed atomic.Bool
 }
@@ -274,11 +298,12 @@ type GraphStats struct {
 func Open(opts Options) (*Graph, error) {
 	opts.fill()
 	g := &Graph{
-		opts:    opts,
-		alloc:   storage.NewAllocator(opts.SmallClassMax),
-		readers: mvcc.NewReaderTable(opts.Workers),
-		locks:   mvcc.NewLockTable(1 << 16),
-		dirty:   maint.NewDirtySet(0),
+		opts:      opts,
+		alloc:     storage.NewAllocator(opts.SmallClassMax),
+		readers:   mvcc.NewReaderTable(opts.Workers),
+		locks:     mvcc.NewLockTable(1 << 16),
+		dirty:     maint.NewDirtySet(0),
+		ckptDirty: maint.NewDirtySet(0),
 	}
 	g.slots = make(chan int, opts.Workers)
 	g.handles = make([]*storage.Handle, opts.Workers)
@@ -450,6 +475,21 @@ func (g *Graph) markDirty(v VertexID, dead int64) {
 	g.dirtySinceCkpt.Add(1)
 	g.maintNotify()
 }
+
+// markCkptDirty records v into the checkpoint-scoped dirty journal. Must
+// be called only from apply-side code (the committer's apply under
+// commit.mu, ApplyEpoch under applyMu, or single-threaded recovery):
+// Checkpoint drains the journal while holding both mutexes, and a mark
+// from the work phase could be drained before its transaction commits —
+// the change would then be missing from every delta until the next
+// rebase.
+func (g *Graph) markCkptDirty(v VertexID) {
+	g.ckptDirty.Mark(int64(v), 0)
+}
+
+// CkptStats returns a live view of the incremental checkpointer's
+// counters.
+func (g *Graph) CkptStats() *metrics.CkptStats { return &g.ckptStats }
 
 // DirtySinceCheckpoint reports how many vertex dirtyings have happened
 // since the last completed checkpoint — the eligibility gauge for

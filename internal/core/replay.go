@@ -24,10 +24,12 @@ func (g *Graph) recover() error {
 	// `<x>.tmp` and renaming it leaves the temp behind. They were never
 	// visible under a final name, so they carry no acknowledged state —
 	// but a later checkpoint at the same epoch would collide with them.
-	for _, pat := range []string{"ckpt-*.snap.tmp", "CHECKPOINT.tmp"} {
+	for _, pat := range []string{"ckpt-*.snap.tmp", "ckpt-*.delta.tmp", "CHECKPOINT.tmp"} {
 		if strays, err := filepath.Glob(filepath.Join(g.opts.Dir, pat)); err == nil {
 			for _, s := range strays {
-				g.opts.Backend.Remove(s)
+				if err := g.opts.Backend.Remove(s); err != nil {
+					g.ckptStats.PruneErrors.Add(1)
+				}
 			}
 		}
 	}
@@ -37,12 +39,31 @@ func (g *Graph) recover() error {
 	}
 	afterEpoch := int64(0)
 	if hasCkpt {
-		if err := g.loadCheckpoint(filepath.Join(g.opts.Dir, meta.Path), meta.Epoch); err != nil {
+		// Base snapshot, then the delta chain in order: each delta fully
+		// replaces its vertices' state, so after the last one the graph is
+		// exactly the state at meta.Epoch. The chain links (base epoch +
+		// predecessor epoch recorded in every delta) are verified on load.
+		if err := g.loadCheckpoint(filepath.Join(g.opts.Dir, meta.Path), meta.BaseEpoch); err != nil {
 			return err
+		}
+		prev := meta.BaseEpoch
+		for _, de := range meta.DeltaEpochs {
+			if err := g.loadDelta(filepath.Join(g.opts.Dir, deltaFileName(de)), meta.BaseEpoch, prev, de); err != nil {
+				return err
+			}
+			prev = de
 		}
 		afterEpoch = meta.Epoch
 		g.lastCkptEpoch.Store(meta.Epoch)
+		g.ckptBase = meta.BaseEpoch
+		g.ckptDeltas = append([]int64(nil), meta.DeltaEpochs...)
 	}
+	// Sweep checkpoint files the meta does not reference: a crash between
+	// a snapshot/delta landing durably and the meta swap — or mid-prune —
+	// leaves them behind, and a later checkpoint at the same epoch must
+	// not collide with them. With no meta at all, every ckpt file is such
+	// an orphan.
+	g.pruneCheckpointFiles(meta.Path, meta.DeltaEpochs)
 	groups, maxSeq, err := wal.Segments(g.opts.Dir, meta.MinWALSeq)
 	if err != nil {
 		return err
@@ -101,6 +122,9 @@ func (g *Graph) replayOp(h *storage.Handle, op walOp, epoch int64) {
 		}
 		g.replayEdge(h, op.op, op.v, op.label, op.dst, op.data, epoch, false)
 	}
+	// Replayed ops are changes past the checkpoint the graph recovered
+	// from: journal them so the next delta checkpoint captures them.
+	g.markCkptDirty(op.v)
 }
 
 // replayEdge applies one edge operation directly with a committed
@@ -108,8 +132,10 @@ func (g *Graph) replayOp(h *storage.Handle, op walOp, epoch int64) {
 // locks are taken and superseded blocks are freed immediately) or from a
 // replication apply (live=true: concurrent snapshots may hold the old
 // block, so it is defer-freed past every pinned epoch; the caller holds
-// the vertex lock).
-func (g *Graph) replayEdge(h *storage.Handle, op byte, src VertexID, label Label, dst VertexID, props []byte, epoch int64, live bool) {
+// the vertex lock). It returns the exact bytes the operation turned into
+// garbage (an invalidated entry's words + properties), already
+// accumulated into the TEL's dead counter.
+func (g *Graph) replayEdge(h *storage.Handle, op byte, src VertexID, label Label, dst VertexID, props []byte, epoch int64, live bool) int64 {
 	ll := g.eindex.Get(int64(src))
 	if ll == nil {
 		ll = &labelList{}
@@ -124,15 +150,18 @@ func (g *Graph) replayEdge(h *storage.Handle, op byte, src VertexID, label Label
 	t := e.tel.Load()
 	n, pl := t.Len(), t.PropLen()
 
+	var dead int64
 	if op == opUpsertEdge || op == opDeleteEdge {
 		if t.MayContain(int64(dst)) {
 			if i := t.FindLatest(int64(dst), n, epoch, 0); i >= 0 {
 				t.SetInvalidation(i, epoch)
+				dead = t.EntryDeadBytes(i)
+				t.AddDeadBytes(dead)
 			}
 		}
 		if op == opDeleteEdge {
 			t.Publish(n, pl, epoch)
-			return
+			return dead
 		}
 	}
 	if !t.Fits(n, pl, len(props)) {
@@ -153,4 +182,5 @@ func (g *Graph) replayEdge(h *storage.Handle, op byte, src VertexID, label Label
 	}
 	pl = t.Append(n, int64(dst), epoch, props, pl)
 	t.Publish(n+1, pl, epoch)
+	return dead
 }

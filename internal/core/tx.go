@@ -399,19 +399,15 @@ func (tx *Tx) AddEdge(src VertexID, label Label, dst VertexID, props []byte) err
 	if err != nil {
 		return err
 	}
-	var dead int64
-	if err := tx.invalidatePrev(w, dst); err == nil {
-		// The upsert invalidated a prior version: estimate its garbage
-		// with the new property size (upserts tend to rewrite
-		// similar-sized payloads).
-		dead = entryDeadBytes + int64(len(props))
-	} else if err != ErrNotFound {
+	if err := tx.invalidatePrev(w, dst); err != nil && err != ErrNotFound {
 		return err
 	}
 	tx.appendEdge(w, dst, props)
 	b := tx.walShard(src)
 	*b = appendEdgeOp(*b, opUpsertEdge, src, label, dst, props)
-	tx.g.markDirty(src, dead)
+	// Weight 0: the exact garbage of the invalidated version (if any) is
+	// accounted at apply time, when the invalidation actually commits.
+	tx.g.markDirty(src, 0)
 	return nil
 }
 
@@ -430,7 +426,8 @@ func (tx *Tx) DeleteEdge(src VertexID, label Label, dst VertexID) error {
 	}
 	b := tx.walShard(src)
 	*b = appendEdgeOp(*b, opDeleteEdge, src, label, dst, nil)
-	tx.g.markDirty(src, entryDeadBytes)
+	// Weight 0: exact dead bytes are accounted at apply (see committer).
+	tx.g.markDirty(src, 0)
 	return nil
 }
 

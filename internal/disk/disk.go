@@ -81,6 +81,10 @@ type Backend interface {
 	// resurrected file is garbage recovery already tolerates, unlike a
 	// vanished one).
 	Remove(path string) error
+	// DefaultWALShards is the shard count the engine should use when the
+	// caller did not choose one — the measured sweet spot for this
+	// backend's sync characteristics.
+	DefaultWALShards() int
 }
 
 // SyncDir fsyncs a directory, making its entries durable. On filesystems

@@ -51,6 +51,11 @@ func (b *simBackend) SyncDir(dir string) error { return SyncDir(dir) }
 
 func (b *simBackend) Remove(path string) error { return removeDurable(path) }
 
+// DefaultWALShards is 1 for the simulated backend: its device-model
+// latency dominates, and single-shard keeps experiment baselines
+// comparable — benchmarks opt into fan-out explicitly.
+func (b *simBackend) DefaultWALShards() int { return 1 }
+
 // simLog is a buffered append file whose Sync performs a real fsync and
 // then bills the simulated device for the bytes since the last barrier.
 type simLog struct {

@@ -183,6 +183,20 @@ type MaintStats struct {
 	LastPassNanos atomic.Int64 // duration of the most recent pass
 }
 
+// CkptStats tracks the incremental checkpointer, shared between
+// core.Checkpoint, the /v1/stats endpoint and lgbench. All fields are
+// atomic; the zero value is ready.
+type CkptStats struct {
+	Fulls  atomic.Int64 // full (base/rebase) snapshots written
+	Deltas atomic.Int64 // delta checkpoints written
+
+	LastNanos atomic.Int64 // wall time of the most recent checkpoint
+	LastBytes atomic.Int64 // bytes the most recent checkpoint streamed
+	ChainLen  atomic.Int64 // delta-chain length behind the current base
+
+	PruneErrors atomic.Int64 // Backend.Remove failures while pruning (segments, snapshots, deltas)
+}
+
 // Result is one benchmark measurement: a latency distribution plus the
 // wall-clock throughput it was achieved at.
 type Result struct {

@@ -583,6 +583,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	dirty, dead := s.G.MaintPressure()
 	out["maintDirtyPending"] = dirty
 	out["maintDeadBytesEst"] = dead
+	// Incremental checkpointer: full/delta split, last dump's cost, the
+	// live chain length, and prune failures (a disk refusing unlinks).
+	ck := s.G.CkptStats()
+	out["ckptFulls"] = ck.Fulls.Load()
+	out["ckptDeltas"] = ck.Deltas.Load()
+	out["ckptLastNanos"] = ck.LastNanos.Load()
+	out["ckptLastBytes"] = ck.LastBytes.Load()
+	out["ckptChainLen"] = ck.ChainLen.Load()
+	out["ckptPruneErrors"] = ck.PruneErrors.Load()
 	if s.Shipper != nil {
 		out["replStreams"] = s.Shipper.Stats.StreamsOpen.Load()
 		out["replStreamedGroups"] = s.Shipper.Stats.StreamedGroups.Load()

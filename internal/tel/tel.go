@@ -10,7 +10,7 @@
 //	word 2              commit timestamp CT        (atomic)
 //	word 3              committed log size LS      (atomic, in entries)
 //	word 4              committed property size PS (atomic, in bytes)
-//	word 5              reserved
+//	word 5              dead property bytes DB     (atomic, in bytes)
 //	words 6 .. 6+F      blocked Bloom filter (F = bloom.WordsFor(block size))
 //	words 6+F ..        fixed-size edge log entries, 4 words each
 //
@@ -57,7 +57,7 @@ const (
 	hdrCT
 	hdrLS
 	hdrPS
-	hdrReserved
+	hdrDead
 )
 
 // TEL wraps a storage block as a Transactional Edge Log. Prev links to the
@@ -83,6 +83,8 @@ func New(h *storage.Handle, src, label int64, minEntries, minPropBytes int) *TEL
 	b.Words[hdrCT] = 0
 	b.Words[hdrLS] = 0
 	b.Words[hdrPS] = 0
+	// Arena blocks are recycled; a stale counter would overstate pressure.
+	b.Words[hdrDead] = 0
 	return t
 }
 
@@ -141,6 +143,26 @@ func (t *TEL) Len() int { return int(atomic.LoadInt64(&t.Block.Words[hdrLS])) }
 
 // PropLen returns the committed property byte length (PS).
 func (t *TEL) PropLen() int { return int(atomic.LoadInt64(&t.Block.Words[hdrPS])) }
+
+// DeadBytes returns the exact bytes held by invalidated entries in this TEL:
+// entry words plus property payload for every entry whose invalidation
+// timestamp was flipped to a committed epoch. Maintained at apply time, it
+// gives compaction pressure and the checkpoint rebase trigger an exact
+// figure instead of the write-path heuristic estimate.
+func (t *TEL) DeadBytes() int64 { return atomic.LoadInt64(&t.Block.Words[hdrDead]) }
+
+// AddDeadBytes accumulates n bytes of newly dead entry+property payload.
+func (t *TEL) AddDeadBytes(n int64) { atomic.AddInt64(&t.Block.Words[hdrDead], n) }
+
+// SetDeadBytes overwrites the dead-byte counter (used when a rebuilt block
+// recomputes its dead set, e.g. compaction retaining history entries).
+func (t *TEL) SetDeadBytes(n int64) { atomic.StoreInt64(&t.Block.Words[hdrDead], n) }
+
+// EntryDeadBytes returns the exact byte cost of entry i going dead: its
+// fixed entry words plus its property payload.
+func (t *TEL) EntryDeadBytes(i int) int64 {
+	return int64(EntryWords*8 + len(t.Props(i)))
+}
 
 // Publish atomically exposes n entries / propLen property bytes and stamps
 // the commit timestamp — the apply-phase "update tail" step. The entry
@@ -277,6 +299,7 @@ func (t *TEL) CopyAllFrom(src *TEL, n, propLen int) {
 	atomic.StoreInt64(&t.Block.Words[hdrCT], src.CommitTS())
 	atomic.StoreInt64(&t.Block.Words[hdrPS], int64(src.PropLen()))
 	atomic.StoreInt64(&t.Block.Words[hdrLS], int64(src.Len()))
+	atomic.StoreInt64(&t.Block.Words[hdrDead], src.DeadBytes())
 	t.filter.Reset()
 	for i := 0; i < n; i++ {
 		t.filter.Add(uint64(t.Dst(i)))

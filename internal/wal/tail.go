@@ -438,12 +438,17 @@ func (s *tailShard) fill() error {
 		s.off += int64(skipped)
 	}
 	for {
-		epoch, rec, ok := readRecord(s.r)
+		epoch, recs, consumed, ok := readFrame(s.r)
 		if !ok {
+			// A torn or partial frame at the tail is re-read on the next
+			// fill (off only advances past complete frames), by which time
+			// the writer may have completed it.
 			return nil
 		}
-		s.queue = append(s.queue, tailRec{epoch, rec})
-		s.off += int64(headerSize + len(rec))
+		for _, rec := range recs {
+			s.queue = append(s.queue, tailRec{epoch, rec})
+		}
+		s.off += int64(consumed)
 	}
 }
 

@@ -16,12 +16,24 @@
 // genuine msync/fsync durability. Replay sniffs the superblock, so both
 // formats recover through the same code path.
 //
-// Record framing (little endian):
+// Frame format (little endian):
 //
-//	[8B epoch][4B payload len][4B crc32(payload)][payload]
+//	[8B epoch][4B len field][4B crc][body]
 //
-// Replay stops at the first torn or corrupt record, which is the standard
-// crash-consistency contract for a WAL with whole-record CRCs. For a
+// Bit 31 of the len field distinguishes two frame kinds. Clear: a legacy
+// single-record frame — body is one payload, crc is crc32-IEEE(body).
+// Set: a batch frame — body is the whole commit-group batch for this
+// shard, a run of [4B record len][payload] sub-records, and crc is one
+// crc32c (Castagnoli, hardware-accelerated) over the full body. The
+// committer writes one batch frame per shard per group, so the persist
+// path computes one checksum per batch instead of one per record; legacy
+// frames remain readable so pre-batch logs replay unchanged.
+//
+// Replay stops at the first torn or corrupt frame, which is the standard
+// crash-consistency contract for a WAL with whole-record CRCs. A tear
+// anywhere in a batch frame discards the whole batch — strictly coarser
+// than per-record CRCs, and exactly the group-atomicity recovery already
+// enforces: a group torn on any shard is rolled back wholesale. For a
 // sharded log a crash can tear different shards at different epochs, so
 // every group additionally carries a commit marker — a reserved record,
 // written on the group's first participating shard, listing how many
@@ -49,6 +61,17 @@ import (
 )
 
 const headerSize = 16
+
+// recHdrSize prefixes each sub-record inside a batch frame body.
+const recHdrSize = 4
+
+// batchFlag marks a batch frame in the header's len field. Payload lengths
+// are capped far below it (1<<30), so the bit is unambiguous.
+const batchFlag = uint32(1) << 31
+
+// castagnoli is the crc32c polynomial table; crc32.Update with it uses the
+// dedicated CRC32 instruction on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // markerOp is the first payload byte of a group-commit marker record. It
 // is reserved: application records must not begin with it (LiveGraph's op
@@ -82,8 +105,9 @@ func Open(path string, backend disk.Backend, geo disk.LogGeometry) (*Log, error)
 }
 
 // AppendGroup appends one batch of records — all stamped with the same
-// epoch — and makes it durable (one Sync barrier for the whole batch, the
-// group commit step). The backend charges its device model, if any.
+// epoch, framed as a single batch frame under one crc32c — and makes it
+// durable (one Sync barrier for the whole batch, the group commit step).
+// The backend charges its device model, if any.
 //
 // If the backend's device has an armed crash point
 // (iosim.Device.CrashAfter), Accept admits only a prefix of the batch —
@@ -93,45 +117,90 @@ func (l *Log) AppendGroup(epoch int64, recs [][]byte) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	needSync, err := l.writeBatch(epoch, recs)
+	if needSync {
+		// Sync even on a device-crash error: the clipped prefix must land
+		// in the file so the tear is what recovery sees.
+		if serr := l.sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// writeBatch frames recs as one batch frame and writes it without syncing
+// — the write half of AppendGroup, split out so ShardedLog can run all
+// shard writes sequentially and fan out only the sync barriers. needSync
+// reports that bytes landed in the file and a sync is required even when
+// err is non-nil (a device crash clips the batch; the tear must become
+// durable). A plain write failure returns needSync=false: nothing further
+// is acknowledged from this log.
+func (l *Log) writeBatch(epoch int64, recs [][]byte) (needSync bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	total := 0
+	bodyLen := 0
 	for _, rec := range recs {
-		total += headerSize + len(rec)
+		bodyLen += recHdrSize + len(rec)
 	}
-	accepted, devErr := l.lf.Accept(total)
-	if accepted > 0 {
-		// Stream records straight into the backend's writer — no
-		// batch-sized staging copy on the persist hot path. `remaining`
-		// clips the record that crosses an injected crash point, so the
-		// file carries exactly the accepted prefix (a genuine tear).
-		remaining := accepted
-		var hdr [headerSize]byte
-	stream:
-		for _, rec := range recs {
-			binary.LittleEndian.PutUint64(hdr[0:8], uint64(epoch))
-			binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(rec)))
-			binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(rec))
-			for _, part := range [2][]byte{hdr[:], rec} {
-				if len(part) > remaining {
-					part = part[:remaining]
-				}
-				if _, err := l.lf.Write(part); err != nil {
-					return fmt.Errorf("wal: append: %w", err)
-				}
-				remaining -= len(part)
-				if remaining == 0 {
-					break stream
-				}
-			}
-		}
-		if err := l.lf.Sync(); err != nil {
-			return fmt.Errorf("wal: fsync: %w", err)
-		}
-		l.appended += int64(accepted)
-	}
+	accepted, devErr := l.lf.Accept(headerSize + bodyLen)
 	if devErr != nil {
-		return fmt.Errorf("wal: append %s: %w", l.path, devErr)
+		devErr = fmt.Errorf("wal: append %s: %w", l.path, devErr)
+	}
+	if accepted == 0 {
+		return false, devErr
+	}
+	// One checksum for the whole batch, computed incrementally so records
+	// stream straight into the backend's writer — no batch-sized staging
+	// copy on the persist hot path.
+	var lenBuf [recHdrSize]byte
+	crc := uint32(0)
+	for _, rec := range recs {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(rec)))
+		crc = crc32.Update(crc, castagnoli, lenBuf[:])
+		crc = crc32.Update(crc, castagnoli, rec)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(epoch))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(bodyLen)|batchFlag)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+	// `remaining` clips the part that crosses an injected crash point, so
+	// the file carries exactly the accepted prefix (a genuine tear).
+	remaining := accepted
+	write := func(part []byte) (done bool, err error) {
+		if len(part) > remaining {
+			part = part[:remaining]
+		}
+		if _, werr := l.lf.Write(part); werr != nil {
+			return false, fmt.Errorf("wal: append: %w", werr)
+		}
+		remaining -= len(part)
+		return remaining == 0, nil
+	}
+	done, werr := write(hdr[:])
+	for _, rec := range recs {
+		if done || werr != nil {
+			break
+		}
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(rec)))
+		if done, werr = write(lenBuf[:]); done || werr != nil {
+			break
+		}
+		done, werr = write(rec)
+	}
+	if werr != nil {
+		return false, werr
+	}
+	l.appended += int64(accepted)
+	return true, devErr
+}
+
+// sync flushes written batches to stable storage — the other half of the
+// split AppendGroup.
+func (l *Log) sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.lf.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	return nil
 }
@@ -178,34 +247,58 @@ func Replay(path string, afterEpoch int64, fn func(epoch int64, rec []byte) erro
 	return nil
 }
 
-// readRecord reads one framed record; ok=false at clean EOF or the first
-// torn/corrupt record. An all-zero header is EOF, not a record: the real
-// backend preallocates segment files, so after a crash the tail past the
-// last durable record is zero-filled pages — and a zero header would
-// otherwise decode as a valid empty record (epoch 0, len 0, crc32("")==0)
-// forever. Real epochs start at 1, so no live record has a zero header.
-func readRecord(r *bufio.Reader) (epoch int64, rec []byte, ok bool) {
+// readFrame reads one frame — a legacy single-record frame or a batch
+// frame carrying several sub-records under one crc32c — returning its
+// records and the byte length consumed (header + body; tailers advance
+// file offsets by it). ok=false at clean EOF or the first torn/corrupt
+// frame. An all-zero header is EOF, not a frame: the real backend
+// preallocates segment files, so after a crash the tail past the last
+// durable frame is zero-filled pages — and a zero header would otherwise
+// decode as a valid empty record (epoch 0, len 0, crc32("")==0) forever.
+// Real epochs start at 1, so no live frame has a zero header.
+func readFrame(r *bufio.Reader) (epoch int64, recs [][]byte, consumed int, ok bool) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, false // clean EOF or torn header
+		return 0, nil, 0, false // clean EOF or torn header
 	}
 	epoch = int64(binary.LittleEndian.Uint64(hdr[0:8]))
-	n := binary.LittleEndian.Uint32(hdr[8:12])
+	lenField := binary.LittleEndian.Uint32(hdr[8:12])
 	crc := binary.LittleEndian.Uint32(hdr[12:16])
-	if epoch == 0 && n == 0 && crc == 0 {
-		return 0, nil, false // preallocated zero tail: end of log
+	if epoch == 0 && lenField == 0 && crc == 0 {
+		return 0, nil, 0, false // preallocated zero tail: end of log
 	}
+	n := lenField &^ batchFlag
 	if n > 1<<30 {
-		return 0, nil, false // implausible length: torn
+		return 0, nil, 0, false // implausible length: torn
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, false // torn payload
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, 0, false // torn body
 	}
-	if crc32.ChecksumIEEE(payload) != crc {
-		return 0, nil, false // corrupt: stop at the tear
+	consumed = headerSize + int(n)
+	if lenField&batchFlag == 0 {
+		// Legacy frame: body is one record under an IEEE CRC.
+		if crc32.ChecksumIEEE(body) != crc {
+			return 0, nil, 0, false // corrupt: stop at the tear
+		}
+		return epoch, [][]byte{body}, consumed, true
 	}
-	return epoch, payload, true
+	if crc32.Checksum(body, castagnoli) != crc {
+		return 0, nil, 0, false // corrupt anywhere in the batch: whole batch torn
+	}
+	for rest := body; len(rest) > 0; {
+		if len(rest) < recHdrSize {
+			return 0, nil, 0, false // malformed body: treat as torn
+		}
+		rl := binary.LittleEndian.Uint32(rest[:recHdrSize])
+		rest = rest[recHdrSize:]
+		if int(rl) > len(rest) {
+			return 0, nil, 0, false
+		}
+		recs = append(recs, rest[:rl:rl])
+		rest = rest[rl:]
+	}
+	return epoch, recs, consumed, true
 }
 
 // skipSuperblock positions r past a real-backend superblock, if the file
@@ -413,24 +506,47 @@ func (sl *ShardedLog) AppendGroup(epoch int64, recsByShard [][][]byte) error {
 		sl.durable.Store(epoch)
 		return nil
 	}
-	errs := make([]error, len(sl.logs))
-	var wg sync.WaitGroup
+	// Write phase, sequential: shard appends are memcpy into an mmap'd
+	// segment or a buffered writer, so fanning them out as goroutines costs
+	// more in handoff than it overlaps (the BENCH_6 shard regression).
+	// Only the sync barriers below are worth running concurrently.
+	needSync := make([]bool, len(sl.logs))
+	var firstErr error
 	for s := range sl.logs {
 		if counts[s] == 0 {
+			continue
+		}
+		ns, err := sl.logs[s].writeBatch(epoch, batchFor(s))
+		needSync[s] = ns
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Sync phase, fanned out: one sync per participating shard,
+	// overlapping on multi-queue devices. Shards that landed bytes are
+	// synced even when another shard failed, so an injected tear is
+	// durable — recovery must see exactly the accepted prefix.
+	var wg sync.WaitGroup
+	syncErrs := make([]error, len(sl.logs))
+	for s := range sl.logs {
+		if !needSync[s] {
 			continue
 		}
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			errs[s] = sl.logs[s].AppendGroup(epoch, batchFor(s))
+			syncErrs[s] = sl.logs[s].sync()
 		}(s)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			sl.failed.Store(true)
-			return err
+	for _, err := range syncErrs {
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
+	}
+	if firstErr != nil {
+		sl.failed.Store(true)
+		return firstErr
 	}
 	sl.durable.Store(epoch)
 	return nil
@@ -559,13 +675,16 @@ func ReplaySharded(paths []string, afterEpoch int64, fn func(epoch int64, rec []
 	}
 }
 
-// segReader streams one shard file's intact record prefix.
+// segReader streams one shard file's intact record prefix, flattening
+// batch frames into their sub-records (pending queues the rest of the
+// current frame).
 type segReader struct {
 	f       *os.File
 	r       *bufio.Reader
 	haveRec bool
 	epoch   int64
 	rec     []byte
+	pending [][]byte
 }
 
 func openSegReader(path string) (*segReader, error) {
@@ -593,13 +712,23 @@ func openSegReader(path string) (*segReader, error) {
 // next advances to the following intact record; at a tear or EOF the
 // reader permanently reports no record.
 func (sr *segReader) next() {
-	if sr.r == nil {
-		sr.haveRec = false
-		return
-	}
-	sr.epoch, sr.rec, sr.haveRec = readRecord(sr.r)
-	if !sr.haveRec {
-		sr.r = nil
+	for {
+		if len(sr.pending) > 0 {
+			sr.rec, sr.pending = sr.pending[0], sr.pending[1:]
+			sr.haveRec = true
+			return
+		}
+		if sr.r == nil {
+			sr.haveRec = false
+			return
+		}
+		epoch, recs, _, ok := readFrame(sr.r)
+		if !ok {
+			sr.haveRec = false
+			sr.r = nil
+			return
+		}
+		sr.epoch, sr.pending = epoch, recs
 	}
 }
 
@@ -613,12 +742,19 @@ func (sr *segReader) close() {
 
 // Checkpoint metadata --------------------------------------------------------
 
-// CheckpointMeta records which epoch a checkpoint file captures, and the
-// per-shard truncation point: WAL records at or below ShardTruncEpochs[s]
-// on shard s are superseded by the checkpoint and may be pruned. The
-// checkpointer rotates segments at a quiescent point, so today every entry
-// equals Epoch; keeping them per shard lets a future incremental
-// checkpointer truncate shards independently.
+// CheckpointMeta records which epoch the checkpoint state captures, and
+// the per-shard truncation point: WAL records at or below
+// ShardTruncEpochs[s] on shard s are superseded by the checkpoint and may
+// be pruned. The checkpointer rotates segments at a quiescent point, so
+// today every entry equals Epoch; keeping them per shard lets a future
+// incremental checkpointer truncate shards independently.
+//
+// A checkpoint is a base snapshot (Path, capturing BaseEpoch) plus an
+// ordered chain of delta files (DeltaEpochs; each at "ckpt-<E>.delta"
+// beside the base). Recovery loads the base and applies the deltas in
+// order; Epoch is the newest epoch covered — the last delta's, or
+// BaseEpoch when the chain is empty. A full (non-incremental) checkpoint
+// is simply an empty chain with BaseEpoch == Epoch.
 //
 // MinWALSeq is the first live WAL segment sequence: every segment below it
 // is fully superseded by the checkpoint. It is the recovery-side guard for
@@ -628,9 +764,16 @@ func (sr *segReader) close() {
 type CheckpointMeta struct {
 	Epoch            int64
 	Path             string
+	BaseEpoch        int64
+	DeltaEpochs      []int64
 	MinWALSeq        int
 	ShardTruncEpochs []int64
 }
+
+// ckptMetaMagic heads the current (v2, delta-aware) CHECKPOINT format.
+// The legacy format began with a raw little-endian epoch; epochs never
+// reach this byte pattern, so sniffing the prefix is unambiguous.
+var ckptMetaMagic = []byte("LGCKMET2")
 
 // WriteCheckpointMeta durably records the checkpoint pointer file next to
 // the WAL under the crash-atomic swap protocol (write temp, fsync it,
@@ -639,10 +782,16 @@ type CheckpointMeta struct {
 // dirent naming non-durable bytes — recovery would then trust a pointer
 // whose contents a crash discarded.
 func WriteCheckpointMeta(dir string, meta CheckpointMeta) error {
-	data := binary.LittleEndian.AppendUint64(nil, uint64(meta.Epoch))
+	data := append([]byte(nil), ckptMetaMagic...)
+	data = binary.LittleEndian.AppendUint64(data, uint64(meta.Epoch))
+	data = binary.LittleEndian.AppendUint64(data, uint64(meta.BaseEpoch))
 	data = binary.LittleEndian.AppendUint32(data, uint32(meta.MinWALSeq))
 	data = binary.LittleEndian.AppendUint32(data, uint32(len(meta.ShardTruncEpochs)))
 	for _, e := range meta.ShardTruncEpochs {
+		data = binary.LittleEndian.AppendUint64(data, uint64(e))
+	}
+	data = binary.LittleEndian.AppendUint32(data, uint32(len(meta.DeltaEpochs)))
+	for _, e := range meta.DeltaEpochs {
 		data = binary.LittleEndian.AppendUint64(data, uint64(e))
 	}
 	data = append(data, []byte(meta.Path)...)
@@ -650,6 +799,7 @@ func WriteCheckpointMeta(dir string, meta CheckpointMeta) error {
 }
 
 // ReadCheckpointMeta loads the checkpoint pointer, or ok=false if none.
+// Legacy (pre-delta) meta files parse as a base-only checkpoint.
 func ReadCheckpointMeta(dir string) (meta CheckpointMeta, ok bool, err error) {
 	data, err := os.ReadFile(filepath.Join(dir, "CHECKPOINT"))
 	if os.IsNotExist(err) {
@@ -658,6 +808,50 @@ func ReadCheckpointMeta(dir string) (meta CheckpointMeta, ok bool, err error) {
 	if err != nil {
 		return CheckpointMeta{}, false, err
 	}
+	if len(data) >= len(ckptMetaMagic) && string(data[:len(ckptMetaMagic)]) == string(ckptMetaMagic) {
+		return parseCheckpointMetaV2(data[len(ckptMetaMagic):])
+	}
+	return parseCheckpointMetaLegacy(data)
+}
+
+func parseCheckpointMetaV2(data []byte) (meta CheckpointMeta, ok bool, err error) {
+	corrupt := func() (CheckpointMeta, bool, error) {
+		return CheckpointMeta{}, false, fmt.Errorf("wal: checkpoint meta corrupt")
+	}
+	if len(data) < 24 {
+		return corrupt()
+	}
+	meta.Epoch = int64(binary.LittleEndian.Uint64(data[:8]))
+	meta.BaseEpoch = int64(binary.LittleEndian.Uint64(data[8:16]))
+	meta.MinWALSeq = int(binary.LittleEndian.Uint32(data[16:20]))
+	shards := binary.LittleEndian.Uint32(data[20:24])
+	data = data[24:]
+	if shards > 1<<16 || len(data) < int(shards)*8+4 {
+		return corrupt()
+	}
+	if shards > 0 {
+		meta.ShardTruncEpochs = make([]int64, shards)
+		for s := range meta.ShardTruncEpochs {
+			meta.ShardTruncEpochs[s] = int64(binary.LittleEndian.Uint64(data[s*8:]))
+		}
+	}
+	data = data[shards*8:]
+	deltas := binary.LittleEndian.Uint32(data[:4])
+	data = data[4:]
+	if deltas > 1<<20 || len(data) < int(deltas)*8 {
+		return corrupt()
+	}
+	if deltas > 0 {
+		meta.DeltaEpochs = make([]int64, deltas)
+		for i := range meta.DeltaEpochs {
+			meta.DeltaEpochs[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+	}
+	meta.Path = string(data[deltas*8:])
+	return meta, true, nil
+}
+
+func parseCheckpointMetaLegacy(data []byte) (meta CheckpointMeta, ok bool, err error) {
 	if len(data) < 16 {
 		return CheckpointMeta{}, false, fmt.Errorf("wal: checkpoint meta corrupt")
 	}
@@ -666,9 +860,9 @@ func ReadCheckpointMeta(dir string) (meta CheckpointMeta, ok bool, err error) {
 	shards := binary.LittleEndian.Uint32(data[12:16])
 	data = data[16:]
 	if shards > 1<<16 {
-		// A legacy meta file (epoch + path, no shard-count field) lands
-		// here: its path bytes read as an implausible count. Name the
-		// likely cause rather than claiming corruption.
+		// A pre-sharding meta file (epoch + path, no shard-count field)
+		// lands here: its path bytes read as an implausible count. Name
+		// the likely cause rather than claiming corruption.
 		return CheckpointMeta{}, false, fmt.Errorf("wal: checkpoint meta has implausible shard count %d (incompatible pre-sharding format?)", shards)
 	}
 	if len(data) < int(shards)*8 {
@@ -681,5 +875,6 @@ func ReadCheckpointMeta(dir string) (meta CheckpointMeta, ok bool, err error) {
 		}
 	}
 	meta.Path = string(data[shards*8:])
+	meta.BaseEpoch = meta.Epoch // legacy checkpoints are full snapshots
 	return meta, true, nil
 }

@@ -118,8 +118,9 @@ func TestReplayMissingFileIsEmpty(t *testing.T) {
 func TestAppendedBytes(t *testing.T) {
 	l, _ := openTemp(t)
 	l.AppendGroup(1, [][]byte{make([]byte, 100)})
-	if got := l.AppendedBytes(); got != 100+16 {
-		t.Fatalf("AppendedBytes = %d, want 116", got)
+	// One batch frame: 16B frame header + 4B sub-record length + payload.
+	if got := l.AppendedBytes(); got != 100+16+4 {
+		t.Fatalf("AppendedBytes = %d, want 120", got)
 	}
 }
 
@@ -133,7 +134,7 @@ func TestDeviceCharged(t *testing.T) {
 	defer l.Close()
 	l.AppendGroup(1, [][]byte{[]byte("abc")})
 	s := dev.Stats()
-	if s.Syncs != 1 || s.BytesWritten != 3+16 {
+	if s.Syncs != 1 || s.BytesWritten != 3+16+4 {
 		t.Fatalf("device stats %+v", s)
 	}
 }
