@@ -7,6 +7,7 @@
 //	syncerr      wal/disk never drop fsync/Close errors
 //	atomicfield  no mixed atomic/plain access to one field
 //	lockhold     no blocking while holding an mvcc stripe lock
+//	spanend      obs spans are ended on every path out of the starter
 //
 // Usage:
 //

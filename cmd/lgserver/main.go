@@ -47,6 +47,9 @@ func main() {
 		walShards = flag.Int("wal-shards", 1, "WAL shards (parallel group-commit fan-out; needs -dir)")
 		follow    = flag.String("follow", "", "primary base URL; run as a read replica of it")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		pprofF    = flag.Bool("pprof", false, "serve /debug/pprof/* (goroutine stacks, heap, CPU profiles)")
+		traceRate = flag.Float64("trace-sample", 0, "trace sample rate in (0,1]; 0 = default 1/64, negative disables tracing")
+		slowOp    = flag.Duration("slowop", 0, "slow-op capture threshold; 0 = default 100ms, negative disables")
 	)
 	flag.Parse()
 
@@ -85,6 +88,10 @@ func main() {
 		Workers:          *workers,
 		HistoryRetention: *history,
 		WALShards:        *walShards,
+		Obs: core.ObsOptions{
+			TraceSampleRate: *traceRate,
+			SlowOpThreshold: *slowOp,
+		},
 	})
 	if err != nil {
 		log.Fatalf("lgserver: open: %v", err)
@@ -103,6 +110,7 @@ func main() {
 	} else {
 		s = server.New(g)
 	}
+	s.EnablePprof = *pprofF
 
 	srv := &http.Server{Addr: *addr, Handler: s}
 	shutdownDone := make(chan struct{})

@@ -155,6 +155,7 @@ func Experiments() []Experiment {
 		{"repl", "WAL-shipping replication: follower apply throughput and staleness lag", Replication},
 		{"maint", "Background maintenance: budgeted scheduler vs legacy inline pass vs off", Maint},
 		{"commit", "Commit path: durable group-commit throughput/latency by WAL shards and storage backend", Commit},
+		{"obs", "Observability overhead: commit throughput with the obs layer off vs default", Obs},
 	}
 }
 

@@ -24,8 +24,8 @@ func tiny(out io.Writer) Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("%d experiments registered, want 20 (one per table/figure plus trav, repl, maint and commit)", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("%d experiments registered, want 21 (one per table/figure plus trav, repl, maint, commit and obs)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -39,7 +39,7 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	for _, want := range []string{"fig1", "tab3", "tab4", "tab5", "tab6", "fig5", "fig6",
 		"fig7a", "fig7b", "mem", "fig8", "ckpt", "tab7", "tab8", "tab9", "tab10", "trav",
-		"repl", "maint"} {
+		"repl", "maint", "commit", "obs"} {
 		if !seen[want] {
 			t.Fatalf("experiment %s missing", want)
 		}

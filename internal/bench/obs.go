@@ -1,0 +1,167 @@
+package bench
+
+// The observability-overhead experiment: the durable commit workload from
+// the commit-path experiment runs twice per trial — once with the whole
+// observability layer disabled (Options.Obs.Disable, no registry
+// instruments on the hot path, no tracer) and once at the default
+// configuration (histograms live, 1-in-64 trace sampling, 100ms slow-op
+// threshold) — on the simulated NAND device so commit costs are stable
+// across runs. The acceptance bar for the layer is a commit-throughput
+// overhead of at most 2% at the default trace sample rate; trials are
+// interleaved and the best run per mode is compared so scheduler noise
+// does not masquerade as instrumentation cost.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"livegraph/internal/core"
+	"livegraph/internal/iosim"
+	"livegraph/internal/metrics"
+)
+
+// Obs runs the observability-overhead experiment.
+func Obs(ctx context.Context, cfg Config) {
+	header(cfg, "Observability overhead: commit throughput with the obs layer off vs default")
+
+	clients, requests := cfg.LBClients, cfg.LBRequests
+	const edgesPerTx = 4
+	const srcsPerClient = 256
+	const trials = 3
+	row(cfg, "writers=%d txs/writer=%d edges/tx=%d trials=%d device=nand",
+		clients, requests, edgesPerTx, trials)
+	row(cfg, "%-8s %7s %12s %10s %10s %10s", "mode", "trial", "tx/s", "mean", "p99", "p999")
+
+	type result struct {
+		thpt            float64
+		mean, p99, p999 time.Duration
+	}
+
+	runOnce := func(name string, trial int, obsOpts core.ObsOptions) result {
+		dir, err := os.MkdirTemp("", "lg-obs-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		g, err := core.Open(core.Options{
+			Dir:     dir,
+			Device:  iosim.NewDevice(iosim.NAND),
+			Workers: 256,
+			Obs:     obsOpts,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer g.Close()
+
+		nv := int64(clients * srcsPerClient)
+		{
+			tx, err := g.BeginCtx(ctx)
+			if err != nil {
+				panic(err)
+			}
+			for v := int64(0); v < 2*nv; v++ {
+				if _, err := tx.AddVertex(nil); err != nil {
+					panic(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				panic(err)
+			}
+		}
+
+		hist := &metrics.Histogram{}
+		props := make([]byte, 32)
+		start := time.Now()
+		var wg sync.WaitGroup
+		wg.Add(clients)
+		for c := 0; c < clients; c++ {
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(c)*31 + int64(trial) + 17))
+				base := int64(c * srcsPerClient)
+				for i := 0; i < requests; i++ {
+					tx, err := g.BeginCtx(ctx)
+					if err != nil {
+						return
+					}
+					for e := 0; e < edgesPerTx; e++ {
+						src := core.VertexID(base + rng.Int63n(srcsPerClient))
+						dst := core.VertexID(nv + rng.Int63n(nv))
+						if err := tx.AddEdge(src, 0, dst, props); err != nil {
+							tx.Abort()
+							return
+						}
+					}
+					t0 := time.Now()
+					if err := tx.Commit(); err != nil {
+						return
+					}
+					hist.Record(time.Since(t0))
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		r := result{
+			thpt: float64(hist.Count()) / elapsed.Seconds(),
+			mean: hist.Mean(),
+			p99:  hist.Quantile(0.99),
+			p999: hist.Quantile(0.999),
+		}
+		row(cfg, "%-8s %7d %12.0f %10v %10v %10v", name, trial, r.thpt,
+			r.mean.Round(time.Microsecond),
+			r.p99.Round(time.Microsecond),
+			r.p999.Round(time.Microsecond))
+		return r
+	}
+
+	best := map[string]result{}
+	note := func(name string, r result) {
+		if b, ok := best[name]; !ok || r.thpt > b.thpt {
+			best[name] = r
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		// Interleave modes within each trial so slow drift (thermal,
+		// page-cache state) hits both sides equally.
+		note("off", runOnce("off", trial, core.ObsOptions{Disable: true}))
+		note("on", runOnce("on", trial, core.ObsOptions{}))
+	}
+
+	off, on := best["off"], best["on"]
+	overhead := 0.0
+	if off.thpt > 0 {
+		overhead = (off.thpt - on.thpt) / off.thpt * 100
+	}
+	fmt.Fprintf(cfg.Out, "best off=%.0f tx/s, best on=%.0f tx/s, overhead=%.2f%% (bar: <=2%%)\n",
+		off.thpt, on.thpt, overhead)
+
+	for _, m := range []struct {
+		name string
+		r    result
+	}{{"off", off}, {"on", on}} {
+		extra := map[string]float64{
+			"tx_per_sec":      m.r.thpt,
+			"p99_ns":          float64(m.r.p99.Nanoseconds()),
+			"p999_ns":         float64(m.r.p999.Nanoseconds()),
+			"clients":         float64(clients),
+			"requests_client": float64(requests),
+			"trials":          float64(trials),
+		}
+		if m.name == "on" {
+			extra["overhead_pct"] = overhead
+		}
+		cfg.record(Metric{
+			Experiment: "obs",
+			Name:       m.name,
+			NsPerOp:    float64(m.r.mean.Nanoseconds()),
+			Extra:      extra,
+		})
+	}
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"livegraph/internal/obs"
 	"livegraph/internal/wal"
 )
 
@@ -65,6 +67,16 @@ func (g *Graph) Checkpoint() error {
 	if g.epochs.ReadEpoch() == g.lastCkptEpoch.Load() {
 		return nil
 	}
+	// Checkpoints are rare enough to trace unconditionally; the span tree
+	// (quiesce → write → meta → prune children) shows where a slow one
+	// spent its time.
+	//lglint:ignore ctxprop trace-root only: checkpoints are engine-initiated background work with no caller deadline, and nothing blocks on this context
+	cctx := context.Background()
+	var csp *obs.Span
+	if o := g.ob; o != nil {
+		cctx, csp = o.tracer.StartAlways(cctx, "ckpt")
+	}
+	defer csp.End()
 	// Compact before a FULL dump: draining the dirty set drops dead
 	// entries and right-sizes blocks, so the snapshot file only carries
 	// live state. A full pass holds one vertex lock at a time, so
@@ -95,6 +107,7 @@ func (g *Graph) Checkpoint() error {
 	// the barrier keeps this rotation point correct. (GWE would be the
 	// wrong target: a group whose persist failed advances GWE but is never
 	// published.)
+	_, qsp := obs.StartSpan(cctx, "ckpt.quiesce")
 	g.applyMu.Lock()
 	g.commit.mu.Lock()
 	g.epochs.WaitRead(g.log.Load().DurableEpoch())
@@ -103,6 +116,7 @@ func (g *Graph) Checkpoint() error {
 	if err != nil {
 		g.commit.mu.Unlock()
 		g.applyMu.Unlock()
+		qsp.End()
 		return err
 	}
 	// Capture while the committer mutex still pins g.walSeq: the meta's
@@ -112,6 +126,7 @@ func (g *Graph) Checkpoint() error {
 	if err != nil {
 		g.commit.mu.Unlock()
 		g.applyMu.Unlock()
+		qsp.End()
 		return err
 	}
 	// Drain the checkpoint journal at the same cut: marks happen only at
@@ -121,6 +136,7 @@ func (g *Graph) Checkpoint() error {
 	drained := g.ckptDirty.Drain(int(g.ckptDirty.Len()), nil)
 	g.commit.mu.Unlock()
 	g.applyMu.Unlock()
+	qsp.End()
 	defer snap.Release()
 
 	// If anything below fails, the drained marks must go back: their
@@ -147,13 +163,21 @@ func (g *Graph) Checkpoint() error {
 		deltaEpochs []int64
 		written     int64
 	)
+	wkind := "delta"
+	if full {
+		wkind = "full"
+	}
+	_, wsp := obs.StartSpan(cctx, "ckpt.write")
+	wsp.SetAttr(obs.String("kind", wkind), obs.Int("dirty", int64(len(drained))))
 	if full {
 		path := filepath.Join(g.opts.Dir, fmt.Sprintf("ckpt-%d.snap", epoch))
 		written, err = g.writeCheckpoint(path, epoch, snap)
 		if err != nil {
+			wsp.End()
 			return err
 		}
 		if err := ckptStage("snap-durable"); err != nil {
+			wsp.End()
 			return err
 		}
 		baseName, baseEpoch = filepath.Base(path), epoch
@@ -165,15 +189,19 @@ func (g *Graph) Checkpoint() error {
 		path := filepath.Join(g.opts.Dir, deltaFileName(epoch))
 		written, err = g.writeDelta(path, g.ckptBase, prevEpoch, epoch, snap, drained)
 		if err != nil {
+			wsp.End()
 			return err
 		}
 		if err := ckptStage("delta-durable"); err != nil {
+			wsp.End()
 			return err
 		}
 		// The meta's Path always names the base snapshot, full or delta.
 		baseName, baseEpoch = fmt.Sprintf("ckpt-%d.snap", g.ckptBase), g.ckptBase
 		deltaEpochs = append(append([]int64(nil), g.ckptDeltas...), epoch)
 	}
+	wsp.SetAttr(obs.Int("bytes", written))
+	wsp.End()
 	// The rotation point was quiescent (GRE == GWE), so every shard is
 	// superseded up to the same epoch; the meta still records it per
 	// shard, the shape an incremental checkpointer needs. MinWALSeq
@@ -192,9 +220,12 @@ func (g *Graph) Checkpoint() error {
 		ShardTruncEpochs: trunc,
 		DeltaEpochs:      deltaEpochs,
 	}
+	_, msp := obs.StartSpan(cctx, "ckpt.meta")
 	if err := wal.WriteCheckpointMeta(g.opts.Dir, meta); err != nil {
+		msp.End()
 		return err
 	}
+	msp.End()
 	if err := ckptStage("meta-durable"); err != nil {
 		return err
 	}
@@ -211,13 +242,26 @@ func (g *Graph) Checkpoint() error {
 	} else {
 		g.ckptStats.Deltas.Add(1)
 	}
-	g.ckptStats.LastNanos.Store(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	g.ckptStats.LastNanos.Store(elapsed.Nanoseconds())
 	g.ckptStats.LastBytes.Store(written)
 	g.ckptStats.ChainLen.Store(int64(len(deltaEpochs)))
+	if o := g.ob; o != nil {
+		if full {
+			o.ckptFull.Record(elapsed)
+		} else {
+			o.ckptDelta.Record(elapsed)
+		}
+		csp.SetAttr(obs.String("kind", wkind), obs.Int("epoch", epoch),
+			obs.Int("bytes", written))
+	}
 	// Prune superseded segments and unreferenced checkpoint files.
+	_, psp := obs.StartSpan(cctx, "ckpt.prune")
+	defer psp.End()
 	for _, s := range oldSegs {
 		if err := g.opts.Backend.Remove(s); err != nil {
 			g.ckptStats.PruneErrors.Add(1)
+			g.notePruneError(s, err)
 		}
 	}
 	g.pruneCheckpointFiles(baseName, deltaEpochs)
@@ -243,6 +287,7 @@ func (g *Graph) rotateWALLocked() ([]string, error) {
 	}
 	// Quiescent point: GRE == GWE, everything up to it is durable.
 	l.SetDurableEpoch(g.epochs.ReadEpoch())
+	g.instrumentWAL(l)
 	// Retire the closed segment's byte count and swap the pointer as one
 	// step, so WALAppendedBytes never sees the old segment twice or not
 	// at all.

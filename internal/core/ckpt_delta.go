@@ -301,6 +301,7 @@ func (g *Graph) pruneCheckpointFiles(baseName string, deltaEpochs []int64) {
 			}
 			if err := g.opts.Backend.Remove(m); err != nil {
 				g.ckptStats.PruneErrors.Add(1)
+				g.notePruneError(m, err)
 			}
 		}
 	}

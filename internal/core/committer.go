@@ -21,7 +21,13 @@ package core
 // the epoch sequence point — and with it snapshot isolation — is exactly
 // the paper's.
 
-import "sync"
+import (
+	"context"
+	"sync"
+	"time"
+
+	"livegraph/internal/obs"
+)
 
 type committer struct {
 	g *Graph
@@ -91,6 +97,20 @@ func (c *committer) withdraw(tx *Tx) bool {
 func (c *committer) commitGroup(batch []*Tx) {
 	g := c.g
 
+	// Observability: one sampled span per group with persist/apply stage
+	// children, the apply-phase histogram, and slow-op capture for
+	// unsampled groups. All of it degrades to a nil check when disabled.
+	o := g.ob
+	//lglint:ignore ctxprop trace-root only: group commit runs on behalf of many callers, no single deadline applies and nothing blocks on this context
+	gctx := context.Background()
+	var gsp *obs.Span
+	var t0 time.Time
+	if o != nil {
+		gctx, gsp = o.tracer.StartSpan(gctx, "commit.group")
+		gsp.SetAttr(obs.Int("txs", int64(len(batch))))
+		t0 = time.Now()
+	}
+
 	// Persist phase: advance GWE, partition the group's records by WAL
 	// shard, write and fsync all participating shards concurrently.
 	twe := g.epochs.AdvanceWrite()
@@ -103,8 +123,14 @@ func (c *committer) commitGroup(batch []*Tx) {
 				}
 			}
 		}
-		if err := log.AppendGroup(twe, recsByShard); err != nil {
+		_, psp := obs.StartSpan(gctx, "commit.persist")
+		err := log.AppendGroup(twe, recsByShard)
+		psp.End()
+		if err != nil {
 			// Durability failed: the group must not become visible.
+			gsp.SetAttr(obs.String("error", err.Error()))
+			gsp.MarkSlow()
+			gsp.End()
 			for _, tx := range batch {
 				tx.revert()
 				tx.unlockAll()
@@ -116,8 +142,17 @@ func (c *committer) commitGroup(batch []*Tx) {
 
 	// Apply phase, per member: publish tails and vertex versions, flip
 	// private timestamps, release locks.
+	var applyStart time.Time
+	if o != nil {
+		applyStart = time.Now()
+	}
+	_, asp := obs.StartSpan(gctx, "commit.apply")
 	for _, tx := range batch {
 		c.apply(tx, twe)
+	}
+	asp.End()
+	if o != nil {
+		o.commitApply.Record(time.Since(applyStart))
 	}
 
 	// The whole group has applied: expose it to future transactions.
@@ -125,6 +160,13 @@ func (c *committer) commitGroup(batch []*Tx) {
 	for _, tx := range batch {
 		tx.commitEpoch = twe
 		tx.commitRes <- nil
+	}
+	gsp.SetAttr(obs.Int("epoch", twe))
+	gsp.End()
+	if o != nil && gsp == nil {
+		// Unsampled groups still surface in the slow-op log.
+		o.tracer.SlowOp("commit.group", time.Since(t0),
+			obs.Int("txs", int64(len(batch))), obs.Int("epoch", twe))
 	}
 }
 

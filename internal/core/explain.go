@@ -1,0 +1,80 @@
+package core
+
+// Traversal EXPLAIN: the compiled hop plan, optionally annotated with
+// per-hop runtime statistics when the plan is executed. Served over HTTP
+// via GET /v1/traverse?explain=plan (plan only) and ?explain=1 (execute
+// and annotate).
+
+// HopPlan describes one compiled step of a traversal, plus its runtime
+// behavior when the plan was executed (Explain.Executed).
+type HopPlan struct {
+	Step  int    `json:"step"`
+	Kind  string `json:"kind"`            // "out" or "filter"
+	Label Label  `json:"label,omitempty"` // out hops
+
+	// Capped marks the final hop of a Limit-ed traversal, where scans
+	// short-circuit as soon as Limit results exist.
+	Capped bool `json:"capped,omitempty"`
+
+	// Runtime statistics — meaningful only when Explain.Executed.
+	FrontierIn  int   `json:"frontierIn"`
+	FrontierOut int   `json:"frontierOut"`
+	DedupHits   int64 `json:"dedupHits,omitempty"` // destinations dropped as already seen
+	Parallel    bool  `json:"parallel"`            // hop ran on the morsel engine
+	Workers     int   `json:"workers,omitempty"`   // pool width of a parallel hop
+	MorselSize  int   `json:"morselSize,omitempty"`
+	Morsels     int   `json:"morsels,omitempty"`
+	// BudgetCut names the budget that stopped the hop early: "limit"
+	// (enough results) or "maxFrontier" (aborted with
+	// ErrFrontierTooLarge). Empty when the hop ran to completion.
+	BudgetCut  string `json:"budgetCut,omitempty"`
+	DurationNs int64  `json:"durationNs,omitempty"`
+}
+
+// Explain is a traversal's compiled plan. Built statically by
+// Traversal.Explain; RunExplain executes the traversal and fills the
+// runtime fields.
+type Explain struct {
+	Src         []VertexID `json:"src"`
+	Dedup       bool       `json:"dedup"`
+	Limit       int        `json:"limit,omitempty"`
+	MaxFrontier int        `json:"maxFrontier,omitempty"`
+	// Parallelism is the requested worker width (0 = engine default);
+	// executed plans overwrite it with the resolved width for the Reader
+	// the traversal actually ran on.
+	Parallelism int       `json:"parallelism"`
+	Hops        []HopPlan `json:"hops"`
+
+	Executed    bool   `json:"executed"`
+	ResultCount int    `json:"resultCount,omitempty"`
+	DurationNs  int64  `json:"durationNs,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// Explain compiles the traversal into its hop plan without executing it.
+// The runtime fields (frontier sizes, dedup hits, budget cuts) stay zero;
+// use RunExplain to execute and annotate.
+func (t *Traversal) Explain() *Explain {
+	ex := &Explain{
+		Src:         append([]VertexID(nil), t.src...),
+		Dedup:       t.dedup,
+		Limit:       t.limit,
+		MaxFrontier: t.maxFrontier,
+		Parallelism: t.parallel,
+		Hops:        make([]HopPlan, 0, len(t.steps)),
+	}
+	lastStep := len(t.steps) - 1
+	for si, st := range t.steps {
+		hp := HopPlan{Step: si}
+		switch st.kind {
+		case stepOut:
+			hp.Kind = "out"
+			hp.Label = st.label
+			hp.Capped = t.limit > 0 && si == lastStep
+		case stepFilter:
+			hp.Kind = "filter"
+		}
+		ex.Hops = append(ex.Hops, hp)
+	}
+	return ex
+}

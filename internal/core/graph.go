@@ -17,6 +17,7 @@ import (
 	"livegraph/internal/maint"
 	"livegraph/internal/metrics"
 	"livegraph/internal/mvcc"
+	"livegraph/internal/obs"
 	"livegraph/internal/storage"
 	"livegraph/internal/tel"
 	"livegraph/internal/wal"
@@ -115,6 +116,11 @@ type Options struct {
 	// graph processing, with modifications to the compaction algorithm").
 	// Zero retains only what in-flight transactions need.
 	HistoryRetention int64
+
+	// Obs configures the observability layer: the instrument registry,
+	// latency histograms, trace sampling and the slow-op log. The zero
+	// value enables everything at default rates.
+	Obs ObsOptions
 }
 
 func (o *Options) fill() {
@@ -282,6 +288,13 @@ type Graph struct {
 
 	stats  GraphStats
 	closed atomic.Bool
+
+	// Observability: obsReg is the scrape surface (always non-nil after
+	// Open); ob carries the hot-path instruments and tracer, nil when
+	// Obs.Disable turned them off.
+	obsReg   *obs.Registry
+	ob       *graphObs
+	obsStart time.Time
 }
 
 // GraphStats aggregates engine counters.
@@ -305,6 +318,7 @@ func Open(opts Options) (*Graph, error) {
 		dirty:     maint.NewDirtySet(0),
 		ckptDirty: maint.NewDirtySet(0),
 	}
+	g.initObs()
 	g.slots = make(chan int, opts.Workers)
 	g.handles = make([]*storage.Handle, opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -326,6 +340,7 @@ func Open(opts Options) (*Graph, error) {
 		// Everything replayed is durable; the committer keeps the
 		// invariant GRE <= DurableEpoch from here on.
 		l.SetDurableEpoch(g.epochs.ReadEpoch())
+		g.instrumentWAL(l)
 		g.log.Store(l)
 	}
 	g.commit = newCommitter(g)
@@ -503,7 +518,9 @@ func (g *Graph) acquireSlot() int { return <-g.slots }
 
 // acquireSlotCtx is acquireSlot bounded by ctx: when every worker slot is
 // taken and ctx is done first, it returns ctx.Err() instead of blocking
-// indefinitely.
+// indefinitely. Slot waits that actually block are recorded in the
+// lg_commit_slot_wait_seconds histogram; the uncontended fast path pays
+// nothing.
 func (g *Graph) acquireSlotCtx(ctx context.Context) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -513,8 +530,17 @@ func (g *Graph) acquireSlotCtx(ctx context.Context) (int, error) {
 		return s, nil
 	default:
 	}
+	var t0 time.Time
+	if g.ob != nil {
+		t0 = time.Now()
+	}
 	select {
 	case s := <-g.slots:
+		if o := g.ob; o != nil {
+			wait := time.Since(t0)
+			o.slotWait.Record(wait)
+			o.tracer.SlowOp("core.slot_wait", wait)
+		}
 		return s, nil
 	case <-ctx.Done():
 		return 0, ctx.Err()

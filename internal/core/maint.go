@@ -14,6 +14,7 @@ import (
 	"livegraph/internal/maint"
 	"livegraph/internal/metrics"
 	"livegraph/internal/morsel"
+	"livegraph/internal/obs"
 	"livegraph/internal/storage"
 )
 
@@ -94,10 +95,21 @@ func (r maintRunner) MaintPressure() (int64, int64) { return r.g.MaintPressure()
 // the deadline actually cut the slice short.
 func (r maintRunner) MaintSlice(maxVertices int, deadline time.Time) (processed int, cut, more bool) {
 	g := r.g
+	o := g.ob
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	g.maintBuf = g.dirty.Drain(maxVertices, g.maintBuf[:0])
 	chunk := g.maintBuf
 	if len(chunk) > 0 {
 		processed = g.compactChunk(chunk, deadline)
+	}
+	if o != nil {
+		d := time.Since(t0)
+		o.maintSlice.Record(d)
+		o.tracer.SlowOp("maint.slice", d,
+			obs.Int("drained", int64(len(chunk))), obs.Int("processed", int64(processed)))
 	}
 	return processed, processed < len(chunk), g.dirty.Len() > 0
 }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"livegraph/internal/obs"
+	"livegraph/internal/wal"
+)
+
+// ObsOptions configures the engine's observability layer (internal/obs):
+// the instrument registry behind GET /metrics and /v1/stats, the sampling
+// tracer behind /v1/traces, and the slow-op log.
+type ObsOptions struct {
+	// Registry receives the graph's instruments. Nil creates a fresh
+	// per-graph registry (retrievable via Graph.Obs). Sharing one registry
+	// across graphs works — scrape-time callbacks are replaced on
+	// re-registration, so the newest graph wins the gauge names.
+	Registry *obs.Registry
+
+	// TraceSampleRate is the fraction of root spans recorded, in (0, 1].
+	// 0 selects the default (1/64); negative disables tracing and the
+	// slow-op log entirely.
+	TraceSampleRate float64
+
+	// SlowOpThreshold: operations at or above this duration are captured
+	// in the slow-op log with their span tree even when unsampled. 0
+	// selects the default (100ms); negative disables slow-op capture.
+	SlowOpThreshold time.Duration
+
+	// TraceRing bounds the recent-trace ring buffer (default 256).
+	TraceRing int
+
+	// Disable turns off the hot-path instruments (latency histograms and
+	// tracing spans) while keeping the registry's scrape-time gauges, so
+	// /metrics and /v1/stats still work. Used by lgbench's obs overhead
+	// sweep as the baseline.
+	Disable bool
+}
+
+// graphObs bundles the graph's hot-path instruments. A nil *graphObs
+// (Obs.Disable) turns every recording site into a cheap branch; the
+// histograms and tracer are individually nil-safe too, so call sites
+// never need more than `if o := g.ob; o != nil`.
+type graphObs struct {
+	tracer *obs.Tracer
+
+	commitLatency *obs.Histogram // submit → group durable+applied, per tx
+	slotWait      *obs.Histogram // worker-slot waits that actually blocked
+	walAppend     *obs.Histogram // commit group: WAL batch write phase
+	walFsync      *obs.Histogram // commit group: fsync barrier fan-out
+	commitApply   *obs.Histogram // commit group: in-memory apply phase
+	travRun       *obs.Histogram // whole traversal executions
+	travHop       *obs.Histogram // single hop expansions
+	ckptFull      *obs.Histogram // full checkpoint wall time
+	ckptDelta     *obs.Histogram // delta checkpoint wall time
+	maintSlice    *obs.Histogram // budgeted maintenance slices
+	replApply     *obs.Histogram // replication ApplyEpoch calls
+}
+
+// instrumentWAL attaches the graph's append/fsync histograms to a freshly
+// opened WAL segment (Open and checkpoint rotation), so the commit
+// pipeline's write and fsync-barrier phases are timed separately.
+func (g *Graph) instrumentWAL(l *wal.ShardedLog) {
+	if o := g.ob; o != nil {
+		l.Instrument(o.walAppend, o.walFsync)
+	}
+}
+
+// notePruneError surfaces a checkpoint-prune unlink failure in the
+// slow-op/trace log with the path that refused to go away, so an operator
+// reading /v1/traces?slow=1 sees *which* file, not just the
+// lg_ckpt_prune_errors_total tick.
+func (g *Graph) notePruneError(path string, err error) {
+	if o := g.ob; o != nil {
+		o.tracer.ErrorOp("ckpt.prune",
+			obs.String("path", path), obs.String("error", err.Error()))
+	}
+}
+
+// Obs returns the graph's instrument registry (never nil). All engine
+// counters are readable here via one Snapshot, and GET /metrics is its
+// Prometheus exposition.
+func (g *Graph) Obs() *obs.Registry { return g.obsReg }
+
+// Tracer returns the graph's span tracer, or nil when tracing is
+// disabled (Obs.Disable or a negative TraceSampleRate). A nil tracer is
+// safe to call.
+func (g *Graph) Tracer() *obs.Tracer {
+	if g.ob == nil {
+		return nil
+	}
+	return g.ob.tracer
+}
+
+// initObs builds the registry, hot-path instruments and scrape-time
+// gauges. Called once from Open before any commits.
+func (g *Graph) initObs() {
+	g.obsStart = time.Now()
+	g.obsReg = g.opts.Obs.Registry
+	if g.obsReg == nil {
+		g.obsReg = obs.NewRegistry()
+	}
+	r := g.obsReg
+
+	if !g.opts.Obs.Disable {
+		ob := &graphObs{
+			commitLatency: r.Histogram("lg_commit_latency_seconds", "transaction commit latency: submit to durable+applied"),
+			slotWait:      r.Histogram("lg_commit_slot_wait_seconds", "worker-slot acquisition waits (blocking acquisitions only)"),
+			walAppend:     r.Histogram("lg_wal_append_seconds", "commit group WAL batch write phase"),
+			walFsync:      r.Histogram("lg_wal_fsync_seconds", "commit group fsync barrier (all shards durable)"),
+			commitApply:   r.Histogram("lg_commit_apply_seconds", "commit group in-memory apply phase"),
+			travRun:       r.Histogram("lg_traversal_seconds", "whole traversal executions"),
+			travHop:       r.Histogram("lg_traversal_hop_seconds", "single traversal hop expansions"),
+			ckptFull:      r.Histogram("lg_ckpt_full_seconds", "full checkpoint wall time"),
+			ckptDelta:     r.Histogram("lg_ckpt_delta_seconds", "delta checkpoint wall time"),
+			maintSlice:    r.Histogram("lg_maint_slice_seconds", "budgeted maintenance slice wall time"),
+			replApply:     r.Histogram("lg_repl_apply_seconds", "replication ApplyEpoch wall time"),
+		}
+		if g.opts.Obs.TraceSampleRate >= 0 {
+			ob.tracer = obs.NewTracer(obs.TracerOptions{
+				SampleRate:      g.opts.Obs.TraceSampleRate,
+				SlowOpThreshold: g.opts.Obs.SlowOpThreshold,
+				RingSize:        g.opts.Obs.TraceRing,
+			})
+		}
+		g.ob = ob
+	}
+
+	ctr := func(name, help string, v *atomic.Int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	gauge := func(name, help string, fn func() float64) { r.GaugeFunc(name, help, fn) }
+
+	// Engine counters (GraphStats).
+	ctr("lg_core_commits_total", "committed write transactions", &g.stats.Commits)
+	ctr("lg_core_aborts_total", "aborted write transactions", &g.stats.Aborts)
+	ctr("lg_core_compactions_total", "vertex compactions", &g.stats.Compactions)
+	ctr("lg_core_upgrades_total", "TEL block upgrades", &g.stats.Upgrades)
+	ctr("lg_core_bloom_skips_total", "edge inserts that skipped the previous-version scan", &g.stats.BloomSkips)
+	gauge("lg_core_vertices", "vertex IDs allocated (including deleted)", func() float64 { return float64(g.NumVertices()) })
+	gauge("lg_core_read_epoch", "global read epoch", func() float64 { return float64(g.ReadEpoch()) })
+	gauge("lg_core_durable_epoch", "newest epoch durable on every WAL shard", func() float64 { return float64(g.DurableEpoch()) })
+	gauge("lg_core_uptime_seconds", "seconds since Open", func() float64 { return time.Since(g.obsStart).Seconds() })
+	gauge("lg_alloc_blocks", "live blocks in the allocator", func() float64 { return float64(g.AllocStats().AllocatedBlocks) })
+	gauge("lg_alloc_bytes", "live bytes in the allocator", func() float64 { return float64(g.AllocStats().AllocatedWords * 8) })
+	r.CounterFunc("lg_wal_appended_bytes_total", "bytes appended to the WAL across rotations",
+		func() float64 { return float64(g.WALAppendedBytes()) })
+
+	// Maintenance engine (MaintStats).
+	ctr("lg_maint_passes_total", "maintenance passes completed", &g.maintStats.Passes)
+	ctr("lg_maint_slices_total", "budgeted maintenance slices executed", &g.maintStats.Slices)
+	ctr("lg_maint_slices_yielded_total", "slices that hit their budget and yielded", &g.maintStats.SlicesYielded)
+	ctr("lg_maint_vertices_compacted_total", "dirty vertices compacted", &g.maintStats.VerticesCompacted)
+	ctr("lg_maint_entries_scanned_total", "TEL entries examined by maintenance", &g.maintStats.EntriesScanned)
+	ctr("lg_maint_entries_copied_total", "entries copied into right-sized blocks", &g.maintStats.EntriesCopied)
+	ctr("lg_maint_entries_dead_total", "entries dropped as invisible to every reader", &g.maintStats.EntriesDead)
+	ctr("lg_maint_versions_pruned_total", "vertex versions cut from version chains", &g.maintStats.VersionsPruned)
+	ctr("lg_maint_blocks_reclaimed_total", "deferred blocks recycled past pinned snapshots", &g.maintStats.BlocksReclaimed)
+	ctr("lg_maint_bytes_reclaimed_total", "bytes returned to the free lists", &g.maintStats.BytesReclaimed)
+	r.CounterFunc("lg_maint_pass_seconds_total", "wall time spent inside maintenance passes",
+		func() float64 { return float64(g.maintStats.PassNanos.Load()) / 1e9 })
+	gauge("lg_maint_last_pass_seconds", "duration of the most recent maintenance pass",
+		func() float64 { return float64(g.maintStats.LastPassNanos.Load()) / 1e9 })
+	gauge("lg_maint_dirty_pending", "vertices waiting in the maintenance dirty set",
+		func() float64 { d, _ := g.MaintPressure(); return float64(d) })
+	gauge("lg_maint_dead_bytes_est", "estimated dead bytes awaiting compaction",
+		func() float64 { _, d := g.MaintPressure(); return float64(d) })
+
+	// Incremental checkpointer (CkptStats).
+	ctr("lg_ckpt_fulls_total", "full (base/rebase) snapshots written", &g.ckptStats.Fulls)
+	ctr("lg_ckpt_deltas_total", "delta checkpoints written", &g.ckptStats.Deltas)
+	ctr("lg_ckpt_prune_errors_total", "Backend.Remove failures while pruning", &g.ckptStats.PruneErrors)
+	gauge("lg_ckpt_last_seconds", "wall time of the most recent checkpoint",
+		func() float64 { return float64(g.ckptStats.LastNanos.Load()) / 1e9 })
+	gauge("lg_ckpt_last_bytes", "bytes the most recent checkpoint streamed",
+		func() float64 { return float64(g.ckptStats.LastBytes.Load()) })
+	gauge("lg_ckpt_chain_len", "delta-chain length behind the current base",
+		func() float64 { return float64(g.ckptStats.ChainLen.Load()) })
+	gauge("lg_ckpt_dirty_since", "vertex dirtyings since the last completed checkpoint",
+		func() float64 { return float64(g.DirtySinceCheckpoint()) })
+}

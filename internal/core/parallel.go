@@ -37,15 +37,18 @@ const stopCheckEdges = 1024
 // expandParallel executes one stepOut over the frontier on a worker pool.
 // seen is nil unless the traversal dedups; capped marks the final hop of a
 // Limit-ed traversal, where production stops at t.limit results.
-func (t *Traversal) expandParallel(ctx context.Context, r Reader, frontier []VertexID, label Label, capped bool, workers int, seen *sparsebit.Set, morselSize int) ([]VertexID, error) {
+// countHits enables the dedup-hit counter (EXPLAIN annotation); it is off
+// on plain runs so the dedup fast path stays a single bitset operation.
+func (t *Traversal) expandParallel(ctx context.Context, r Reader, frontier []VertexID, label Label, capped bool, workers int, seen *sparsebit.Set, morselSize int, countHits bool) ([]VertexID, int64, error) {
 	cur := morsel.NewCursor(len(frontier), morselSize)
 	outs := make([][]VertexID, cur.Count())
 	var (
-		produced atomic.Int64 // results appended (Limit budget, final hop)
-		grown    atomic.Int64 // next-frontier size (MaxFrontier budget)
-		stop     atomic.Bool
-		errMu    sync.Mutex
-		firstErr error
+		produced  atomic.Int64 // results appended (Limit budget, final hop)
+		grown     atomic.Int64 // next-frontier size (MaxFrontier budget)
+		dedupHits atomic.Int64 // destinations dropped as already seen (countHits)
+		stop      atomic.Bool
+		errMu     sync.Mutex
+		firstErr  error
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -103,6 +106,9 @@ func (t *Traversal) expandParallel(ctx context.Context, r Reader, frontier []Ver
 						}
 						d := itp.Dst()
 						if seen != nil && seen.TestAndSet(int64(d)) {
+							if countHits {
+								dedupHits.Add(1)
+							}
 							continue
 						}
 						if capped {
@@ -144,7 +150,7 @@ func (t *Traversal) expandParallel(ctx context.Context, r Reader, frontier []Ver
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, dedupHits.Load(), firstErr
 	}
 	total := 0
 	for _, o := range outs {
@@ -154,5 +160,5 @@ func (t *Traversal) expandParallel(ctx context.Context, r Reader, frontier []Ver
 	for _, o := range outs {
 		next = append(next, o...)
 	}
-	return next, nil
+	return next, dedupHits.Load(), nil
 }

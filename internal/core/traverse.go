@@ -20,8 +20,10 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"time"
 
 	"livegraph/internal/morsel"
+	"livegraph/internal/obs"
 	"livegraph/internal/sparsebit"
 )
 
@@ -163,7 +165,27 @@ func (t *Traversal) Run(ctx context.Context, r Reader) ([]VertexID, error) {
 	if t.hasAsOf && r.ReadEpoch() != t.asOf {
 		return nil, ErrAsOfMismatch
 	}
-	return t.run(ctx, r)
+	return t.run(ctx, r, nil)
+}
+
+// RunExplain is Run with plan annotation: the traversal executes normally
+// and the returned Explain carries per-hop frontier sizes, dedup hits,
+// morsel widths and budget cuts. The plan is returned even when execution
+// fails (with Explain.Error set), so a budget abort still shows which hop
+// blew up.
+func (t *Traversal) RunExplain(ctx context.Context, r Reader) ([]VertexID, *Explain, error) {
+	ex := t.Explain()
+	if t.hasAsOf && r.ReadEpoch() != t.asOf {
+		ex.Error = ErrAsOfMismatch.Error()
+		return nil, ex, ErrAsOfMismatch
+	}
+	res, err := t.run(ctx, r, ex)
+	ex.Executed = true
+	ex.ResultCount = len(res)
+	if err != nil {
+		ex.Error = err.Error()
+	}
+	return res, ex, err
 }
 
 // RunGraph pins a snapshot of g — at the AsOf epoch if one was set, at the
@@ -182,7 +204,7 @@ func (t *Traversal) RunGraph(ctx context.Context, g *Graph) ([]VertexID, error) 
 		return nil, err
 	}
 	defer s.Release()
-	return t.run(ctx, s)
+	return t.run(ctx, s, nil)
 }
 
 // effectiveParallelism resolves the worker-pool width for this run:
@@ -253,10 +275,51 @@ func parallelThresholds(r Reader) (engageMin, minMorsel int) {
 	return morsel.DefaultSize, 8
 }
 
-func (t *Traversal) run(ctx context.Context, r Reader) ([]VertexID, error) {
+// run executes the traversal. ex, when non-nil, receives per-hop runtime
+// statistics (RunExplain); it must come from t.Explain() so its Hops line
+// up with t.steps. Observability — the lg_traversal_* histograms, a
+// sampled "traverse" span with per-hop children, and slow-op capture —
+// engages when r is backed by a graph whose instruments are enabled.
+func (t *Traversal) run(ctx context.Context, r Reader, ex *Explain) ([]VertexID, error) {
+	var o *graphObs
+	if gs, ok := r.(graphSource); ok {
+		o = gs.graph().ob
+	}
+	var tracer *obs.Tracer
+	if o != nil {
+		tracer = o.tracer
+	}
+	tctx, tsp := tracer.StartSpan(ctx, "traverse")
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
+	res, err := t.runSteps(tctx, r, ex, o)
+	if o != nil {
+		d := time.Since(t0)
+		o.travRun.Record(d)
+		if tsp == nil {
+			tracer.SlowOp("traverse", d,
+				obs.Int("hops", int64(len(t.steps))), obs.Int("results", int64(len(res))))
+		}
+	}
+	if tsp != nil {
+		tsp.SetAttr(obs.Int("hops", int64(len(t.steps))), obs.Int("results", int64(len(res))))
+		if err != nil {
+			tsp.SetAttr(obs.String("error", err.Error()))
+		}
+	}
+	tsp.End()
+	return res, err
+}
+
+func (t *Traversal) runSteps(ctx context.Context, r Reader, ex *Explain, o *graphObs) ([]VertexID, error) {
 	frontier := append([]VertexID(nil), t.src...)
 	lastStep := len(t.steps) - 1
 	par := t.effectiveParallelism(r)
+	if ex != nil {
+		ex.Parallelism = par
+	}
 	// One seen set and one scan iterator serve the whole run: the set's
 	// pages and the iterator are reused hop after hop, so a multi-hop
 	// traversal stops allocating once it has touched its working set.
@@ -265,11 +328,21 @@ func (t *Traversal) run(ctx context.Context, r Reader) ([]VertexID, error) {
 		seen = sparsebit.New(4 * par)
 	}
 	engageMin, minMorsel := parallelThresholds(r)
-	its, hasInto := r.(edgeIterSource)
-	var it EdgeIter
+	seq := seqExpander{r: r}
+	seq.its, seq.hasInto = r.(edgeIterSource)
 	for si, st := range t.steps {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		var hp *HopPlan
+		if ex != nil {
+			hp = &ex.Hops[si]
+			hp.FrontierIn = len(frontier)
+		}
+		var hopStart time.Time
+		timed := o != nil || hp != nil
+		if timed {
+			hopStart = time.Now()
 		}
 		switch st.kind {
 		case stepFilter:
@@ -280,6 +353,10 @@ func (t *Traversal) run(ctx context.Context, r Reader) ([]VertexID, error) {
 				}
 			}
 			frontier = kept
+			if hp != nil {
+				hp.FrontierOut = len(frontier)
+				hp.DurationNs = time.Since(hopStart).Nanoseconds()
+			}
 		case stepOut:
 			// Short-circuit the scans only when this hop produces the
 			// final result set; earlier hops must stay complete because a
@@ -288,40 +365,52 @@ func (t *Traversal) run(ctx context.Context, r Reader) ([]VertexID, error) {
 			if t.dedup {
 				seen.Reset() // dedup is per hop
 			}
+			_, hsp := obs.StartSpan(ctx, "traverse.hop")
+			var (
+				next []VertexID
+				hits int64
+				err  error
+			)
 			if t.engageParallel(len(frontier), par, engageMin) {
-				next, err := t.expandParallel(ctx, r, frontier, st.label, capped, par, seen,
-					t.hopMorselSize(len(frontier), par, minMorsel))
-				if err != nil {
-					return nil, err
+				ms := t.hopMorselSize(len(frontier), par, minMorsel)
+				if hp != nil {
+					hp.Parallel = true
+					hp.Workers = par
+					hp.MorselSize = ms
+					hp.Morsels = (len(frontier) + ms - 1) / ms
 				}
-				frontier = next
-				continue
+				if hsp != nil {
+					hsp.SetAttr(obs.String("engine", "morsel"),
+						obs.Int("workers", int64(par)), obs.Int("morselSize", int64(ms)))
+				}
+				next, hits, err = t.expandParallel(ctx, r, frontier, st.label, capped, par, seen, ms, hp != nil)
+			} else {
+				next, hits, err = seq.expand(ctx, t, frontier, st.label, capped, seen, hp != nil)
 			}
-			next := make([]VertexID, 0, len(frontier))
-		hop:
-			for _, v := range frontier {
-				if err := ctx.Err(); err != nil {
-					return nil, err
+			if hp != nil {
+				hp.DedupHits = hits
+				hp.FrontierOut = len(next)
+				hp.DurationNs = time.Since(hopStart).Nanoseconds()
+				switch {
+				case errors.Is(err, ErrFrontierTooLarge):
+					hp.BudgetCut = "maxFrontier"
+				case capped && err == nil && len(next) >= t.limit:
+					hp.BudgetCut = "limit"
 				}
-				itp := &it
-				if hasInto {
-					its.neighborsInto(itp, v, st.label)
-				} else {
-					itp = r.Neighbors(v, st.label)
+			}
+			if o != nil {
+				o.travHop.Record(time.Since(hopStart))
+			}
+			if hsp != nil {
+				hsp.SetAttr(obs.Int("frontierIn", int64(len(frontier))),
+					obs.Int("frontierOut", int64(len(next))), obs.Int("dedupHits", hits))
+				if err != nil {
+					hsp.SetAttr(obs.String("error", err.Error()))
 				}
-				for itp.Next() {
-					d := itp.Dst()
-					if t.dedup && seen.TestAndSet(int64(d)) {
-						continue
-					}
-					next = append(next, d)
-					if t.maxFrontier > 0 && len(next) > t.maxFrontier {
-						return nil, ErrFrontierTooLarge
-					}
-					if capped && len(next) >= t.limit {
-						break hop
-					}
-				}
+			}
+			hsp.End()
+			if err != nil {
+				return nil, err
 			}
 			frontier = next
 		}
@@ -330,4 +419,48 @@ func (t *Traversal) run(ctx context.Context, r Reader) ([]VertexID, error) {
 		frontier = frontier[:t.limit]
 	}
 	return frontier, nil
+}
+
+// seqExpander runs one hop's scans sequentially, reusing a single
+// iterator across hops (the pre-parallel engine's inner loop, split out
+// so run can time and annotate hops uniformly).
+type seqExpander struct {
+	r       Reader
+	its     edgeIterSource
+	hasInto bool
+	it      EdgeIter
+}
+
+// expand performs one sequential stepOut. countHits enables dedup-hit
+// counting (EXPLAIN); hits is 0 otherwise.
+func (s *seqExpander) expand(ctx context.Context, t *Traversal, frontier []VertexID, label Label, capped bool, seen *sparsebit.Set, countHits bool) (next []VertexID, hits int64, err error) {
+	next = make([]VertexID, 0, len(frontier))
+	for _, v := range frontier {
+		if err := ctx.Err(); err != nil {
+			return nil, hits, err
+		}
+		itp := &s.it
+		if s.hasInto {
+			s.its.neighborsInto(itp, v, label)
+		} else {
+			itp = s.r.Neighbors(v, label)
+		}
+		for itp.Next() {
+			d := itp.Dst()
+			if t.dedup && seen.TestAndSet(int64(d)) {
+				if countHits {
+					hits++
+				}
+				continue
+			}
+			next = append(next, d)
+			if t.maxFrontier > 0 && len(next) > t.maxFrontier {
+				return nil, hits, ErrFrontierTooLarge
+			}
+			if capped && len(next) >= t.limit {
+				return next, hits, nil
+			}
+		}
+	}
+	return next, hits, nil
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"livegraph/internal/mvcc"
+	"livegraph/internal/obs"
 	"livegraph/internal/storage"
 	"livegraph/internal/tel"
 )
@@ -32,6 +34,12 @@ type Tx struct {
 	walBufs     [][]byte // WAL record per shard, partitioned by vertex ownership
 	commitRes   chan error
 	commitEpoch int64 // the group's commit epoch, set by the leader on success
+
+	// Observability: span is the transaction's sampled trace root (nil
+	// when unsampled), ended by finish; commitStart stamps the submit →
+	// settle window for the commit-latency histogram.
+	span        *obs.Span
+	commitStart time.Time
 }
 
 // CommitEpoch returns the epoch this transaction's commit group was
@@ -100,14 +108,19 @@ func (g *Graph) BeginCtx(ctx context.Context) (*Tx, error) {
 	}
 	tre := g.epochs.ReadEpoch()
 	g.readers.Enter(slot, tre)
-	return &Tx{
+	tx := &Tx{
 		g:      g,
 		ctx:    ctx,
 		slot:   slot,
 		handle: g.handles[slot],
 		tre:    tre,
 		tid:    g.tids.Next(),
-	}, nil
+	}
+	// Sampled write transactions carry a trace root; lock waits and the
+	// commit wait attach as child stages. Unsampled: both stay nil and
+	// every span call below is a no-op.
+	tx.ctx, tx.span = g.Tracer().StartSpan(ctx, "tx.write")
+	return tx, nil
 }
 
 // BeginRead starts a read-only snapshot transaction.
@@ -138,6 +151,7 @@ func (tx *Tx) finish() {
 	tx.g.readers.Exit(tx.slot)
 	tx.g.releaseSlot(tx.slot)
 	tx.done = true
+	tx.span.End()
 }
 
 // lock acquires the write lock for v (idempotent within the transaction).
@@ -149,7 +163,11 @@ func (tx *Tx) lock(v VertexID) error {
 	if _, ok := tx.locked[stripe]; ok {
 		return nil
 	}
-	if err := tx.g.locks.TryLockCtx(tx.ctx, uint64(v), tx.g.opts.LockTimeout); err != nil {
+	_, sp := obs.StartSpan(tx.ctx, "tx.lock")
+	sp.SetAttr(obs.Int("vertex", int64(v)))
+	err := tx.g.locks.TryLockCtx(tx.ctx, uint64(v), tx.g.opts.LockTimeout)
+	sp.End()
+	if err != nil {
 		tx.abortLocked()
 		if err == mvcc.ErrLockTimeout {
 			return ErrLockTimeout
@@ -552,8 +570,14 @@ func (tx *Tx) Commit() error {
 		return nil
 	}
 	tx.commitRes = make(chan error, 1)
+	if tx.g.ob != nil {
+		tx.commitStart = time.Now()
+	}
+	_, sp := obs.StartSpan(tx.ctx, "tx.commit.wait")
 	tx.g.commit.submit(tx)
-	return tx.settleCommit(<-tx.commitRes)
+	err := <-tx.commitRes
+	sp.End()
+	return tx.settleCommit(err)
 }
 
 // CommitCtx is Commit with a deadline on the group-commit wait. Three
@@ -589,6 +613,9 @@ func (tx *Tx) CommitCtx(ctx context.Context) error {
 		return err
 	}
 	tx.commitRes = make(chan error, 1)
+	if tx.g.ob != nil {
+		tx.commitStart = time.Now()
+	}
 	// submit blocks competing for group leadership, so it runs in a helper
 	// goroutine; the caller's goroutine stays free to observe ctx. The
 	// helper forwards the commit result (always ready once submit returns).
@@ -633,12 +660,17 @@ func (tx *Tx) CommitCtx(ctx context.Context) error {
 }
 
 // settleCommit finishes the transaction with the committer's verdict and
-// maintains the commit/abort counters.
+// maintains the commit/abort counters and commit-latency histogram.
 func (tx *Tx) settleCommit(err error) error {
 	tx.finish()
 	if err != nil {
 		tx.g.stats.Aborts.Add(1)
 		return err
+	}
+	if o := tx.g.ob; o != nil && !tx.commitStart.IsZero() {
+		d := time.Since(tx.commitStart)
+		o.commitLatency.Record(d)
+		o.tracer.SlowOp("tx.commit", d, obs.Int("epoch", tx.commitEpoch))
 	}
 	tx.g.stats.Commits.Add(1)
 	tx.g.noteWriteCommitted()

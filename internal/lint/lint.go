@@ -23,6 +23,7 @@ var All = []*analysis.Analyzer{
 	Syncerr,
 	Atomicfield,
 	Lockhold,
+	Spanend,
 }
 
 // ByName resolves a comma-separated -checks selection against All.

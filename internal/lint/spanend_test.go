@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"livegraph/internal/lint"
+	"livegraph/internal/lint/linttest"
+)
+
+func TestSpanend(t *testing.T) {
+	linttest.Run(t, "spanend/spans", lint.Spanend)
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4). Histograms are recorded in
+// nanoseconds internally and exposed in seconds, coarsened to their major
+// (power-of-two) bucket boundaries: cumulative counts at le=2^k ns for
+// each populated scale, then +Inf, _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	lastFamily := ""
+	r.visit(func(in *instrument) {
+		if err != nil {
+			return
+		}
+		if in.name != lastFamily {
+			lastFamily = in.name
+			if in.help != "" {
+				_, err = fmt.Fprintf(w, "# HELP %s %s\n", in.name, escapeHelp(in.help))
+				if err != nil {
+					return
+				}
+			}
+			_, err = fmt.Fprintf(w, "# TYPE %s %s\n", in.name, typeName(in.kind))
+			if err != nil {
+				return
+			}
+		}
+		switch in.kind {
+		case kindCounter, kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", in.name, in.labels, in.val.Load())
+		case kindGaugeFunc, kindCounterFunc:
+			v := 0.0
+			if in.fn != nil {
+				v = in.fn()
+			}
+			_, err = fmt.Fprintf(w, "%s%s %s\n", in.name, in.labels, formatFloat(v))
+		case kindHistogram:
+			err = writeHist(w, in)
+		}
+	})
+	return err
+}
+
+func typeName(k instKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeHist emits one histogram's cumulative major-scale buckets.
+func writeHist(w io.Writer, in *instrument) error {
+	s := in.hist.Snapshot()
+	var cum uint64
+	for major := 0; major < histMajors; major++ {
+		var n uint64
+		for minor := 0; minor < histMinors; minor++ {
+			n += s.Buckets[major*histMinors+minor]
+		}
+		if n == 0 {
+			continue
+		}
+		cum += n
+		// Upper bound of this scale: 2^(major+1) ns, in seconds.
+		le := float64(uint64(1)<<uint(major)) * 2 / 1e9
+		if err := writeBucket(w, in, formatFloat(le), cum); err != nil {
+			return err
+		}
+	}
+	// Use the bucket total (not the separately-updated Count) for +Inf and
+	// _count so the series is internally consistent even when a snapshot
+	// races a recorder between its bucket and count increments.
+	if err := writeBucket(w, in, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", in.name, in.labels, formatFloat(float64(s.SumNs)/1e9)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", in.name, in.labels, cum)
+	return err
+}
+
+func writeBucket(w io.Writer, in *instrument, le string, cum uint64) error {
+	labels := in.labels
+	if labels == "" {
+		labels = fmt.Sprintf("{le=%q}", le)
+	} else {
+		labels = fmt.Sprintf("%s,le=%q}", strings.TrimSuffix(labels, "}"), le)
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, labels, cum)
+	return err
+}

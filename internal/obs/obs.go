@@ -1,0 +1,44 @@
+// Package obs is the engine's zero-dependency observability core: named
+// counters, gauges and lock-striped latency histograms behind a Registry
+// with Prometheus text exposition, plus a lightweight sampling tracer
+// whose spans feed a bounded ring of recent traces and a slow-op log.
+//
+// Metric names follow the repo convention lg_<subsystem>_<name>_<unit>
+// (see CONTRIBUTING.md). Everything here is stdlib-only and safe for
+// concurrent use; hot-path costs are a handful of atomic adds per
+// histogram sample and nothing at all for unsampled spans.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is one name="value" pair attached to an instrument.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// labelString renders labels in canonical sorted {k="v",...} form, or ""
+// when there are none. Used both for exposition and as the identity of an
+// instrument within its name.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry owns a process- (or graph-) wide set of named instruments.
+// Registration is idempotent: asking for a counter/gauge/histogram that
+// already exists under the same name+labels returns the existing
+// instrument, so packages can register at init sites without coordinating.
+// A GaugeFunc re-registered under an existing name replaces the previous
+// callback (the newest owner wins — useful across graph reopen).
+//
+// Scrapes (Snapshot, WritePrometheus) hold the registry lock only while
+// walking the instrument table; counter and histogram reads are atomic
+// snapshots, so a scrape observes each instrument at a single point in
+// time rather than mid-update.
+type Registry struct {
+	mu    sync.Mutex
+	insts map[string]*instrument // keyed by name+labelString
+	order []string               // registration order, for stable exposition
+}
+
+type instKind uint8
+
+const (
+	kindCounter instKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindCounterFunc
+	kindHistogram
+)
+
+type instrument struct {
+	name   string // metric name without labels
+	labels string // canonical {k="v"} suffix, "" if none
+	help   string
+	kind   instKind
+
+	val  atomic.Int64   // counter, gauge
+	fn   func() float64 // gauge func, called at scrape time
+	hist *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{insts: make(map[string]*instrument)}
+}
+
+// Counter is a monotonically increasing value. The zero instrument is
+// obtained from Registry.Counter; Add with negative deltas is not checked
+// but violates Prometheus counter semantics.
+type Counter struct{ v *atomic.Int64 }
+
+// Add increments the counter by d.
+func (c Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v *atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g Gauge) Value() int64 { return g.v.Load() }
+
+func (r *Registry) lookup(name, help string, labels []Label, kind instKind) *instrument {
+	ls := labelString(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.insts[key]; ok {
+		return in
+	}
+	in := &instrument{name: name, labels: ls, help: help, kind: kind}
+	r.insts[key] = in
+	r.order = append(r.order, key)
+	return in
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) Counter {
+	return Counter{v: &r.lookup(name, help, labels, kindCounter).val}
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) Gauge {
+	return Gauge{v: &r.lookup(name, help, labels, kindGauge).val}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. Re-registering under the same name+labels replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	in := r.lookup(name, help, labels, kindGaugeFunc)
+	r.mu.Lock()
+	in.fn = fn
+	r.mu.Unlock()
+}
+
+// CounterFunc is GaugeFunc with counter exposition semantics, for
+// monotone totals whose source of truth is an existing atomic elsewhere
+// (engine stats structs). fn must be non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	in := r.lookup(name, help, labels, kindCounterFunc)
+	r.mu.Lock()
+	in.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram registers (or fetches) a latency histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	in := r.lookup(name, help, labels, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in.hist == nil {
+		in.hist = NewHistogram()
+	}
+	return in.hist
+}
+
+// SnapshotValue is one instrument's state captured by Registry.Snapshot.
+// Exactly one of Hist or Value is meaningful, keyed off Kind.
+type SnapshotValue struct {
+	Name   string
+	Labels string
+	Value  float64
+	Hist   *HistSnapshot // non-nil for histograms
+}
+
+// Snapshot captures every instrument in one pass under the registry lock,
+// so a caller building a stats payload reads all gauges from a single
+// scrape rather than interleaving loads with concurrent writers. Keys of
+// the returned map are name+labels (labels in canonical sorted form).
+func (r *Registry) Snapshot() map[string]SnapshotValue {
+	r.mu.Lock()
+	keys := make([]string, len(r.order))
+	copy(keys, r.order)
+	insts := make([]*instrument, 0, len(keys))
+	for _, k := range keys {
+		insts = append(insts, r.insts[k])
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]SnapshotValue, len(insts))
+	for i, in := range insts {
+		sv := SnapshotValue{Name: in.name, Labels: in.labels}
+		switch in.kind {
+		case kindCounter, kindGauge:
+			sv.Value = float64(in.val.Load())
+		case kindGaugeFunc, kindCounterFunc:
+			if in.fn != nil {
+				sv.Value = in.fn()
+			}
+		case kindHistogram:
+			s := in.hist.Snapshot()
+			sv.Hist = &s
+		}
+		out[keys[i]] = sv
+	}
+	return out
+}
+
+// visit walks instruments in registration order (exposition helper).
+func (r *Registry) visit(f func(in *instrument)) {
+	r.mu.Lock()
+	insts := make([]*instrument, 0, len(r.order))
+	for _, k := range r.order {
+		insts = append(insts, r.insts[k])
+	}
+	r.mu.Unlock()
+	// Group same-name instruments (label variants) together, preserving
+	// first-registration order of names, as the exposition format requires
+	// one TYPE header per metric family.
+	byName := make(map[string][]*instrument)
+	var names []string
+	for _, in := range insts {
+		if _, ok := byName[in.name]; !ok {
+			names = append(names, in.name)
+		}
+		byName[in.name] = append(byName[in.name], in)
+	}
+	for _, n := range names {
+		fam := byName[n]
+		sort.SliceStable(fam, func(i, j int) bool { return fam[i].labels < fam[j].labels })
+		for _, in := range fam {
+			f(in)
+		}
+	}
+}

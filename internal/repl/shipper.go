@@ -12,6 +12,7 @@ import (
 
 	"livegraph/internal/core"
 	"livegraph/internal/metrics"
+	"livegraph/internal/obs"
 	"livegraph/internal/wal"
 )
 
@@ -121,12 +122,24 @@ func (sh *Shipper) ServeStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if ok {
 			ensureHeader()
+			// One sampled span per shipped group; slow writes (a stalled
+			// replica backpressuring the stream) surface via SlowOp.
+			tr := sh.G.Tracer()
+			_, ssp := tr.StartSpan(ctx, "repl.ship")
+			t0 := time.Now()
 			buf = appendFrame(buf[:0], epoch, recs)
-			if _, err := w.Write(buf); err != nil {
-				return
-			}
+			_, err := w.Write(buf)
 			if flusher != nil {
 				flusher.Flush()
+			}
+			ssp.SetAttr(obs.Int("epoch", epoch), obs.Int("bytes", int64(len(buf))))
+			ssp.End()
+			if ssp == nil {
+				tr.SlowOp("repl.ship", time.Since(t0),
+					obs.Int("epoch", epoch), obs.Int("bytes", int64(len(buf))))
+			}
+			if err != nil {
+				return
 			}
 			sh.Stats.StreamedGroups.Add(1)
 			sh.Stats.StreamedBytes.Add(int64(len(buf)))

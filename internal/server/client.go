@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"livegraph/internal/core"
 )
 
 // Client is a minimal Go client for the HTTP API, used by cmd/lgserver's
@@ -221,6 +223,31 @@ type TraverseOptions struct {
 // Traverse runs a multi-hop traversal on the server: one hop per label in
 // out, in order. It returns the final frontier and the epoch observed.
 func (c *Client) Traverse(src int64, out []int64, opt *TraverseOptions) ([]int64, int64, error) {
+	resp, err := c.traverse(src, out, opt, "")
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Vertices, resp.Epoch, nil
+}
+
+// TraverseExplain runs the traversal with ?explain=1: the server executes
+// it and returns the hop plan annotated with per-hop frontier sizes,
+// dedup hits, morsel widths and budget cuts alongside the results.
+func (c *Client) TraverseExplain(src int64, out []int64, opt *TraverseOptions) (*TraverseResponse, error) {
+	return c.traverse(src, out, opt, "1")
+}
+
+// ExplainPlan compiles the traversal on the server without executing it
+// (?explain=plan): only the static hop plan comes back.
+func (c *Client) ExplainPlan(src int64, out []int64, opt *TraverseOptions) (*core.Explain, error) {
+	resp, err := c.traverse(src, out, opt, "plan")
+	if err != nil {
+		return nil, err
+	}
+	return resp.Explain, nil
+}
+
+func (c *Client) traverse(src int64, out []int64, opt *TraverseOptions, explain string) (*TraverseResponse, error) {
 	q := url.Values{}
 	for _, l := range out {
 		q.Add("out", strconv.FormatInt(l, 10))
@@ -239,12 +266,17 @@ func (c *Client) Traverse(src int64, out []int64, opt *TraverseOptions) ([]int64
 			q.Set("parallel", strconv.Itoa(opt.Parallel))
 		}
 	}
+	if explain != "" {
+		q.Set("explain", explain)
+	}
 	var resp TraverseResponse
 	if err := c.get(fmt.Sprintf("/v1/traverse/%d?%s", src, q.Encode()), &resp); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	c.ObserveEpoch(resp.Epoch)
-	return resp.Vertices, resp.Epoch, nil
+	if explain != "plan" {
+		c.ObserveEpoch(resp.Epoch)
+	}
+	return &resp, nil
 }
 
 // Stats fetches the primary's engine counters. Deliberately NOT routed:

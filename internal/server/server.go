@@ -93,7 +93,10 @@ type Server struct {
 	// Applier marks this server a follower: writes answer 403 and
 	// /v1/stats reports replication lag. Set via NewFollower.
 	Applier *repl.Applier
-	mux     *http.ServeMux
+	// EnablePprof opens /debug/pprof/* (goroutine stacks, heap contents,
+	// CPU profiles). Off by default; lgserver exposes it as -pprof.
+	EnablePprof bool
+	mux         *http.ServeMux
 }
 
 // New builds a primary server for g. If g is durable its WAL is served to
@@ -102,6 +105,7 @@ func New(g *core.Graph) *Server {
 	s := newServer(g)
 	if g.Dir() != "" {
 		s.Shipper = repl.NewShipper(g)
+		registerShipperObs(g.Obs(), s.Shipper.Stats)
 	}
 	return s
 }
@@ -113,6 +117,7 @@ func New(g *core.Graph) *Server {
 func NewFollower(g *core.Graph, ap *repl.Applier) *Server {
 	s := newServer(g)
 	s.Applier = ap
+	registerApplierObs(g.Obs(), ap.Stats)
 	return s
 }
 
@@ -126,6 +131,9 @@ func newServer(g *core.Graph) *Server {
 	mux.HandleFunc("GET /v1/degree/", s.handleDegree)
 	mux.HandleFunc("GET /v1/traverse/", s.handleTraverse)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", s.handlePprof)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/repl/stream", s.handleReplStream)
 	s.mux = mux
@@ -437,10 +445,13 @@ func (s *Server) handleDegree(w http.ResponseWriter, r *http.Request) {
 }
 
 // TraverseResponse is the /v1/traverse result: the final frontier and the
-// epoch the traversal observed.
+// epoch the traversal observed. Explain carries the hop plan when the
+// request asked for one (?explain=1 annotated with runtime statistics,
+// ?explain=plan compiled only, Vertices omitted).
 type TraverseResponse struct {
-	Epoch    int64   `json:"epoch"`
-	Vertices []int64 `json:"vertices"`
+	Epoch    int64         `json:"epoch"`
+	Vertices []int64       `json:"vertices"`
+	Explain  *core.Explain `json:"explain,omitempty"`
 }
 
 func (s *Server) handleTraverse(w http.ResponseWriter, r *http.Request) {
@@ -506,6 +517,18 @@ func (s *Server) handleTraverse(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	explain := q.Get("explain")
+	switch explain {
+	case "", "0", "false", "1", "true", "plan":
+	default:
+		httpErr(w, http.StatusBadRequest, "explain=%q: want 1/true/plan/0/false", explain)
+		return
+	}
+	if explain == "plan" {
+		// Compile-only: the hop plan without touching the graph.
+		writeJSON(w, TraverseResponse{Explain: t.Explain()})
+		return
+	}
 	// Pin the snapshot here (rather than RunGraph) so the response can
 	// report the epoch the traversal actually observed.
 	var snap *core.Snapshot
@@ -527,84 +550,36 @@ func (s *Server) handleTraverse(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer snap.Release()
-	res, err := t.Run(r.Context(), snap)
+	var (
+		res []core.VertexID
+		ex  *core.Explain
+	)
+	if explain == "1" || explain == "true" {
+		res, ex, err = t.RunExplain(r.Context(), snap)
+	} else {
+		res, err = t.Run(r.Context(), snap)
+	}
 	if err != nil {
+		code := http.StatusServiceUnavailable
 		if errors.Is(err, core.ErrFrontierTooLarge) {
-			httpErr(w, http.StatusUnprocessableEntity, "%v", err)
+			code = http.StatusUnprocessableEntity
+		}
+		if ex != nil {
+			// An explained run reports the annotated plan alongside the
+			// error — the plan shows which hop blew the budget.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "explain": ex})
 			return
 		}
-		httpErr(w, http.StatusServiceUnavailable, "%v", err)
+		httpErr(w, code, "%v", err)
 		return
 	}
-	resp := TraverseResponse{Epoch: snap.ReadEpoch(), Vertices: make([]int64, len(res))}
+	resp := TraverseResponse{Epoch: snap.ReadEpoch(), Vertices: make([]int64, len(res)), Explain: ex}
 	for i, v := range res {
 		resp.Vertices[i] = int64(v)
 	}
 	writeJSON(w, resp)
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.G.Stats()
-	al := s.G.AllocStats()
-	out := map[string]int64{
-		"commits":         st.Commits.Load(),
-		"aborts":          st.Aborts.Load(),
-		"compactions":     st.Compactions.Load(),
-		"upgrades":        st.Upgrades.Load(),
-		"bloomSkips":      st.BloomSkips.Load(),
-		"vertices":        s.G.NumVertices(),
-		"readEpoch":       s.G.ReadEpoch(),
-		"allocatedBlocks": al.AllocatedBlocks,
-		"allocatedBytes":  al.AllocatedWords * 8,
-		// Replication observability (lag without log-diving): on a
-		// primary appliedEpoch == readEpoch and durableEpoch is the WAL
-		// watermark replicas can reach; on a follower appliedEpoch is how
-		// far it has caught up.
-		"durableEpoch":     s.G.DurableEpoch(),
-		"appliedEpoch":     s.G.ReadEpoch(),
-		"walAppendedBytes": s.G.WALAppendedBytes(),
-	}
-	// Background maintenance (the budgeted compaction scheduler): how
-	// much it has done and what it cost, so operators can see reclamation
-	// keeping up — on followers too, where no client ever calls compact.
-	mt := s.G.MaintStats()
-	out["maintPasses"] = mt.Passes.Load()
-	out["maintSlices"] = mt.Slices.Load()
-	out["maintSlicesYielded"] = mt.SlicesYielded.Load()
-	out["maintVerticesCompacted"] = mt.VerticesCompacted.Load()
-	out["maintEntriesScanned"] = mt.EntriesScanned.Load()
-	out["maintEntriesCopied"] = mt.EntriesCopied.Load()
-	out["maintEntriesDead"] = mt.EntriesDead.Load()
-	out["maintVersionsPruned"] = mt.VersionsPruned.Load()
-	out["maintBlocksReclaimed"] = mt.BlocksReclaimed.Load()
-	out["maintBytesReclaimed"] = mt.BytesReclaimed.Load()
-	out["maintPassNanos"] = mt.PassNanos.Load()
-	out["maintLastPassNanos"] = mt.LastPassNanos.Load()
-	dirty, dead := s.G.MaintPressure()
-	out["maintDirtyPending"] = dirty
-	out["maintDeadBytesEst"] = dead
-	// Incremental checkpointer: full/delta split, last dump's cost, the
-	// live chain length, and prune failures (a disk refusing unlinks).
-	ck := s.G.CkptStats()
-	out["ckptFulls"] = ck.Fulls.Load()
-	out["ckptDeltas"] = ck.Deltas.Load()
-	out["ckptLastNanos"] = ck.LastNanos.Load()
-	out["ckptLastBytes"] = ck.LastBytes.Load()
-	out["ckptChainLen"] = ck.ChainLen.Load()
-	out["ckptPruneErrors"] = ck.PruneErrors.Load()
-	if s.Shipper != nil {
-		out["replStreams"] = s.Shipper.Stats.StreamsOpen.Load()
-		out["replStreamedGroups"] = s.Shipper.Stats.StreamedGroups.Load()
-		out["replStreamedBytes"] = s.Shipper.Stats.StreamedBytes.Load()
-	}
-	if s.Applier != nil {
-		out["replSourceEpoch"] = s.Applier.Stats.SourceEpoch.Load()
-		out["replLagEpochs"] = s.Applier.Stats.LagEpochs()
-		out["replAppliedGroups"] = s.Applier.Stats.AppliedGroups.Load()
-		out["replAppliedBytes"] = s.Applier.Stats.AppliedBytes.Load()
-		out["replReconnects"] = s.Applier.Stats.Reconnects.Load()
-	}
-	writeJSON(w, out)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

@@ -56,8 +56,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"livegraph/internal/disk"
+	"livegraph/internal/obs"
 )
 
 const headerSize = 16
@@ -349,6 +351,19 @@ type ShardedLog struct {
 
 	durable atomic.Int64 // newest epoch durable on every shard
 	failed  atomic.Bool  // sticky: a group write failed; see ErrLogFailed
+
+	// Optional latency instruments for the two phases of AppendGroup
+	// (write vs fsync barrier), attached by Instrument. Nil histograms
+	// record nothing.
+	appendHist *obs.Histogram
+	syncHist   *obs.Histogram
+}
+
+// Instrument attaches latency histograms for AppendGroup's write phase
+// and fsync barrier. Either may be nil. Call before the log is shared
+// with a committer — it is not synchronised against in-flight appends.
+func (sl *ShardedLog) Instrument(appendHist, syncHist *obs.Histogram) {
+	sl.appendHist, sl.syncHist = appendHist, syncHist
 }
 
 // ErrLogFailed is returned by AppendGroup after any group write has
@@ -496,10 +511,34 @@ func (sl *ShardedLog) AppendGroup(epoch int64, recsByShard [][][]byte) error {
 		}
 		return recs
 	}
+	timed := sl.appendHist != nil || sl.syncHist != nil
 	if participants == 1 {
 		// Uncontended fast path: no goroutine handoff, identical to the
-		// unsharded log.
-		if err := sl.logs[first].AppendGroup(epoch, batchFor(first)); err != nil {
+		// unsharded log. The write/sync split mirrors Log.AppendGroup
+		// (sync even on a device-crash error: the clipped prefix must
+		// land in the file so the tear is what recovery sees) with the
+		// two phases timed separately when instrumented.
+		l := sl.logs[first]
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		needSync, err := l.writeBatch(epoch, batchFor(first))
+		if timed {
+			sl.appendHist.Record(time.Since(t0))
+		}
+		if needSync {
+			if timed {
+				t0 = time.Now()
+			}
+			if serr := l.sync(); serr != nil && err == nil {
+				err = serr
+			}
+			if timed {
+				sl.syncHist.Record(time.Since(t0))
+			}
+		}
+		if err != nil {
 			sl.failed.Store(true)
 			return err
 		}
@@ -510,6 +549,10 @@ func (sl *ShardedLog) AppendGroup(epoch int64, recsByShard [][][]byte) error {
 	// segment or a buffered writer, so fanning them out as goroutines costs
 	// more in handoff than it overlaps (the BENCH_6 shard regression).
 	// Only the sync barriers below are worth running concurrently.
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	needSync := make([]bool, len(sl.logs))
 	var firstErr error
 	for s := range sl.logs {
@@ -521,6 +564,10 @@ func (sl *ShardedLog) AppendGroup(epoch int64, recsByShard [][][]byte) error {
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if timed {
+		sl.appendHist.Record(time.Since(t0))
+		t0 = time.Now()
 	}
 	// Sync phase, fanned out: one sync per participating shard,
 	// overlapping on multi-queue devices. Shards that landed bytes are
@@ -539,6 +586,9 @@ func (sl *ShardedLog) AppendGroup(epoch int64, recsByShard [][][]byte) error {
 		}(s)
 	}
 	wg.Wait()
+	if timed {
+		sl.syncHist.Record(time.Since(t0))
+	}
 	for _, err := range syncErrs {
 		if err != nil && firstErr == nil {
 			firstErr = err
