@@ -104,6 +104,32 @@ func (v SnapshotView) OutDegree(src int64) int {
 	return v.Snap.Degree(core.VertexID(src), v.Label)
 }
 
+// InView is the optional View extension direction-optimizing BFS needs: a
+// way to enumerate *candidate* in-neighbors (a superset is fine — every
+// candidate is confirmed with HasEdge) and to confirm a single edge. A
+// View that also implements InView unlocks bottom-up levels; plain Views
+// run every level top-down.
+type InView interface {
+	// ScanInCandidates streams a superset of v's in-neighbors; fn
+	// returning false stops early.
+	ScanInCandidates(v int64, fn func(src int64) bool)
+	// HasEdge reports whether the (src → dst) edge exists in this view.
+	HasEdge(src, dst int64) bool
+}
+
+// ScanInCandidates implements InView over the snapshot's reverse hint
+// index.
+func (v SnapshotView) ScanInCandidates(dst int64, fn func(src int64) bool) {
+	v.Snap.ScanInCandidates(core.VertexID(dst), v.Label, func(src core.VertexID) bool {
+		return fn(int64(src))
+	})
+}
+
+// HasEdge implements InView.
+func (v SnapshotView) HasEdge(src, dst int64) bool {
+	return v.Snap.HasEdge(core.VertexID(src), v.Label, core.VertexID(dst))
+}
+
 // vertexMorsel is the vertex-range morsel width for whole-graph passes:
 // wider than a frontier morsel because per-vertex work is smaller and the
 // range count should stay well above the worker count for balance.
@@ -249,16 +275,30 @@ func ConnComp(v View, workers int) []int64 {
 	}
 }
 
+// bfsBottomUpFactor is the direction switch's density threshold: a level
+// goes bottom-up when frontier × factor exceeds the unvisited count — the
+// vertex-count approximation of Beamer's edge-count heuristic, erring
+// toward top-down so sparse frontiers never pay a whole-graph sweep.
+const bfsBottomUpFactor = 8
+
 // BFS runs a level-synchronous parallel breadth-first search from src and
-// returns every vertex's hop distance (-1 when unreachable). Each level's
-// frontier is partitioned into morsels claimed dynamically by the worker
-// pool — the same engine one hop of a parallel traversal runs on — with a
-// lock-striped sparse bitset arbitrating first-visit claims, so a vertex
-// reachable along many paths is expanded exactly once. Distances are
-// written only by the claiming worker and published to the next level by
-// the pool join, so the kernel is race-free without per-vertex atomics on
-// the distance array.
+// returns every vertex's hop distance (-1 when unreachable). When the View
+// also implements InView, levels whose frontier is dense against the
+// unvisited set run *bottom-up* (Beamer's direction-optimizing BFS):
+// instead of expanding every frontier vertex forward, workers sweep the
+// unvisited vertices, probe their candidate in-neighbors against a frozen
+// frontier bitset, and claim on the first confirmed hit — the distances
+// are identical either way (every vertex has exactly one BFS level), only
+// the schedule changes. BFSDir forces one direction for A/B runs.
 func BFS(v View, src int64, workers int) []int64 {
+	return BFSDir(v, src, workers, core.DirectionAuto)
+}
+
+// BFSDir is BFS with the per-level direction decision overridden:
+// DirectionTopDown never sweeps bottom-up, DirectionBottomUp does so on
+// every level after the first (falling back to top-down when the View has
+// no InView), DirectionAuto decides per level from frontier density.
+func BFSDir(v View, src int64, workers int, dir core.Direction) []int64 {
 	n := v.NumVertices()
 	dist := make([]int64, n)
 	for i := range dist {
@@ -270,44 +310,121 @@ func BFS(v View, src int64, workers int) []int64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	iv, hasIn := v.(InView)
+	if dir == core.DirectionTopDown {
+		hasIn = false
+	}
 	visited := sparsebit.New(4 * workers)
 	visited.TestAndSet(src)
 	dist[src] = 0
 	frontier := []int64{src}
+	var fbits *sparsebit.Set
+	unvisited := n - 1
 	for level := int64(1); len(frontier) > 0; level++ {
-		cur := morsel.NewCursor(len(frontier), morsel.DefaultSize)
-		outs := make([][]int64, cur.Count())
-		var wg sync.WaitGroup
-		for w := cur.Workers(workers); w > 0; w-- {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					m, lo, hi, ok := cur.Next()
-					if !ok {
-						return
-					}
-					var buf []int64
-					for _, u := range frontier[lo:hi] {
-						v.ScanOut(u, func(dst int64) bool {
-							if !visited.TestAndSet(dst) {
-								dist[dst] = level
-								buf = append(buf, dst)
-							}
-							return true
-						})
-					}
-					outs[m] = buf
-				}
-			}()
+		bottomUp := hasIn &&
+			(dir == core.DirectionBottomUp ||
+				int64(len(frontier))*bfsBottomUpFactor > unvisited)
+		var next []int64
+		if bottomUp {
+			if fbits == nil {
+				fbits = sparsebit.New(1)
+			}
+			next = bfsBottomUpLevel(v, iv, dist, visited, fbits, frontier, level, n, workers)
+		} else {
+			next = bfsTopDownLevel(v, dist, visited, frontier, level, workers)
 		}
-		wg.Wait()
-		frontier = frontier[:0]
-		for _, o := range outs {
-			frontier = append(frontier, o...)
-		}
+		unvisited -= int64(len(next))
+		frontier = next
 	}
 	return dist
+}
+
+// bfsTopDownLevel expands one level forward: the frontier is partitioned
+// into morsels claimed dynamically by the worker pool — the same engine
+// one hop of a parallel traversal runs on — with the lock-striped visited
+// bitset arbitrating first-visit claims, so a vertex reachable along many
+// paths is expanded exactly once. Distances are written only by the
+// claiming worker and published to the next level by the pool join, so the
+// kernel is race-free without per-vertex atomics on the distance array.
+func bfsTopDownLevel(v View, dist []int64, visited *sparsebit.Set, frontier []int64, level int64, workers int) []int64 {
+	cur := morsel.NewCursor(len(frontier), morsel.DefaultSize)
+	outs := make([][]int64, cur.Count())
+	var wg sync.WaitGroup
+	for w := cur.Workers(workers); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, lo, hi, ok := cur.Next()
+				if !ok {
+					return
+				}
+				var buf []int64
+				for _, u := range frontier[lo:hi] {
+					v.ScanOut(u, func(dst int64) bool {
+						if !visited.TestAndSet(dst) {
+							dist[dst] = level
+							buf = append(buf, dst)
+						}
+						return true
+					})
+				}
+				outs[m] = buf
+			}
+		}()
+	}
+	wg.Wait()
+	next := make([]int64, 0, len(frontier))
+	for _, o := range outs {
+		next = append(next, o...)
+	}
+	return next
+}
+
+// bfsBottomUpLevel expands one level in reverse: workers sweep disjoint
+// unvisited-vertex ranges, probe each vertex's candidate in-neighbors
+// against the frontier bitset (frozen before the pool starts, so the
+// probes are lock-free Peeks) and claim it on the first confirmed edge.
+// Each vertex belongs to exactly one worker's range, so dist writes and
+// the visited marks need no arbitration at all — the level's only shared
+// write is the final frontier concatenation under wg join.
+func bfsBottomUpLevel(v View, iv InView, dist []int64, visited *sparsebit.Set, fbits *sparsebit.Set, frontier []int64, level, n int64, workers int) []int64 {
+	fbits.Reset()
+	for _, u := range frontier {
+		fbits.TestAndSet(u)
+	}
+	var mu sync.Mutex
+	var next []int64
+	parallelFor(n, workers, func(lo, hi int64) {
+		var buf []int64
+		for c := lo; c < hi; c++ {
+			if dist[c] >= 0 {
+				continue
+			}
+			found := false
+			iv.ScanInCandidates(c, func(src int64) bool {
+				if !fbits.Peek(src) {
+					return true
+				}
+				if !iv.HasEdge(src, c) {
+					return true
+				}
+				found = true
+				return false
+			})
+			if found {
+				dist[c] = level
+				visited.TestAndSet(c)
+				buf = append(buf, c)
+			}
+		}
+		if len(buf) > 0 {
+			mu.Lock()
+			next = append(next, buf...)
+			mu.Unlock()
+		}
+	})
+	return next
 }
 
 // Degrees computes every vertex's out-degree in one morsel-parallel pass —

@@ -262,3 +262,66 @@ func TestEmptyGraphKernels(t *testing.T) {
 		t.Fatalf("ConnComp on empty graph: %v", l)
 	}
 }
+
+// TestBFSDirectionEquivalence: the direction-optimizing BFS returns the
+// same distance vector as forced top-down and forced bottom-up, on a
+// random LiveGraph snapshot whose View carries the reverse-hint InView —
+// the distances are schedule-independent (one BFS level per vertex), so
+// equality is exact, not set-wise.
+func TestBFSDirectionEquivalence(t *testing.T) {
+	const n = 800
+	g, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	rng := newRand(23)
+	tx, _ := g.Begin()
+	for i := 0; i < n; i++ {
+		tx.AddVertex(nil)
+	}
+	for i := 0; i < 5*n; i++ {
+		tx.InsertEdge(core.VertexID(rng.Int63n(n)), 0, core.VertexID(rng.Int63n(n)), nil)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := g.Snapshot()
+	defer snap.Release()
+	view := SnapshotView{Snap: snap, Label: 0}
+	if _, ok := interface{}(view).(InView); !ok {
+		t.Fatal("SnapshotView must implement InView")
+	}
+
+	want := BFSDir(view, 0, 1, core.DirectionTopDown)
+	reached := 0
+	for _, d := range want {
+		if d >= 0 {
+			reached++
+		}
+	}
+	if reached < n/2 {
+		t.Fatalf("fixture too sparse: only %d/%d reached", reached, n)
+	}
+	for _, workers := range []int{1, 4} {
+		for name, dir := range map[string]core.Direction{
+			"topdown": core.DirectionTopDown, "bottomup": core.DirectionBottomUp, "auto": core.DirectionAuto,
+		} {
+			got := BFSDir(view, 0, workers, dir)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: dist[%d]=%d, want %d", name, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// A View without InView (CSR) silently stays top-down even when
+	// bottom-up is forced.
+	csrEdges := []csr.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	cv := CSRView{csr.Build(3, csrEdges)}
+	got := BFSDir(cv, 0, 2, core.DirectionBottomUp)
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("CSR forced-bottomup fallback dist = %v", got)
+	}
+}

@@ -152,6 +152,7 @@ func Experiments() []Experiment {
 		{"tab9", "Table 9: SNB per-query latency", SNBQueryLatency},
 		{"tab10", "Table 10: ETL + PageRank/ConnComp, in-situ vs CSR engine", Tab10},
 		{"trav", "Morsel-driven parallel traversal: two-hop throughput vs worker-pool width", TraverseSweep},
+		{"bfs", "Adaptive traversal: expansion direction, predicate pushdown, direction-optimizing BFS", BFSAdaptive},
 		{"repl", "WAL-shipping replication: follower apply throughput and staleness lag", Replication},
 		{"maint", "Background maintenance: budgeted scheduler vs legacy inline pass vs off", Maint},
 		{"commit", "Commit path: durable group-commit throughput/latency by WAL shards and storage backend", Commit},

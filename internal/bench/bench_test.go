@@ -24,8 +24,8 @@ func tiny(out io.Writer) Config {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 21 {
-		t.Fatalf("%d experiments registered, want 21 (one per table/figure plus trav, repl, maint, commit and obs)", len(exps))
+	if len(exps) != 22 {
+		t.Fatalf("%d experiments registered, want 22 (one per table/figure plus trav, bfs, repl, maint, commit and obs)", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

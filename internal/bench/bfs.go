@@ -1,0 +1,209 @@
+package bench
+
+// The adaptive-traversal experiment: direction-optimizing expansion and
+// predicate pushdown on the workload each exists for.
+//
+// Three sweeps over one adversarial-for-top-down graph — a seed fanning
+// out to S sources, every source pointing at the same T shared targets
+// (T << S), so a two-hop from the seed expands S*T edges top-down but
+// only needs T candidate probes bottom-up:
+//
+//   - direction: the dense second hop forced top-down, forced bottom-up,
+//     and left to the adaptive executor, at worker-pool widths 1 and 8;
+//   - pushdown: a destination predicate as a trailing Filter (expand
+//     everything, then drop) vs FilterDst (fused into the TEL scan loop,
+//     rejected edges never materialize);
+//   - bfs: the analytics BFS kernel, forced top-down vs
+//     direction-optimizing, over the same graph.
+//
+// Configurations are interleaved trial-by-trial so clock drift and cache
+// state spread evenly instead of biasing whichever config runs last.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"livegraph/internal/analytics"
+	"livegraph/internal/core"
+)
+
+// Fan-in shape: bfsSources sources each pointing at all bfsTargets
+// shared targets. 2048x128 = 256K edges expanded per top-down two-hop —
+// laptop-scale but large enough that the direction choice dominates.
+const (
+	bfsSources = 2048
+	bfsTargets = 128
+)
+
+// BFSAdaptive runs the adaptive-traversal experiment.
+func BFSAdaptive(ctx context.Context, cfg Config) {
+	header(cfg, "Adaptive traversal: expansion direction, predicate pushdown, direction-optimizing BFS")
+	g, err := core.Open(core.Options{Workers: 256})
+	if err != nil {
+		panic(err)
+	}
+	defer g.Close()
+	tx, _ := g.BeginCtx(ctx)
+	for i := 0; i < 1+bfsSources+bfsTargets; i++ {
+		tx.AddVertex(nil)
+	}
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+	for s := 1; s <= bfsSources; s += 64 {
+		hi := min(s+64, bfsSources+1)
+		tx, _ := g.BeginCtx(ctx)
+		for src := s; src < hi; src++ {
+			tx.InsertEdge(0, 0, core.VertexID(src), nil)
+			for d := 0; d < bfsTargets; d++ {
+				tx.InsertEdge(core.VertexID(src), 0, core.VertexID(1+bfsSources+d), nil)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			panic(err)
+		}
+	}
+	snap, err := g.SnapshotCtx(ctx)
+	if err != nil {
+		panic(err)
+	}
+	defer snap.Release()
+	reps := cfg.TravOps
+	row(cfg, "graph: seed -> %d sources -> %d shared targets (%d edges); %d trials per config",
+		bfsSources, bfsTargets, bfsSources*(bfsTargets+1), reps)
+
+	directionSweep(ctx, cfg, snap, reps)
+	pushdownSweep(ctx, cfg, snap, reps)
+	bfsSweep(cfg, snap, reps)
+}
+
+// sweep interleaves the configurations across reps trials and returns
+// total elapsed per configuration. Every run's result count is checked
+// against the first configuration's — a benchmark that silently computes
+// different answers measures nothing.
+func sweep(cfg Config, names []string, reps int, run func(i int) int) []time.Duration {
+	totals := make([]time.Duration, len(names))
+	want := -1
+	for r := 0; r < reps; r++ {
+		for i := range names {
+			t0 := time.Now()
+			n := run(i)
+			totals[i] += time.Since(t0)
+			if want < 0 {
+				want = n
+			} else if n != want {
+				panic(fmt.Sprintf("bfs sweep: config %q returned %d results, reference %d", names[i], n, want))
+			}
+		}
+	}
+	return totals
+}
+
+func directionSweep(ctx context.Context, cfg Config, snap *core.Snapshot, reps int) {
+	type dcfg struct {
+		name string
+		dir  core.Direction
+		par  int
+	}
+	var cfgs []dcfg
+	for _, par := range []int{1, 8} {
+		for _, d := range []struct {
+			n string
+			d core.Direction
+		}{{"topdown", core.DirectionTopDown}, {"bottomup", core.DirectionBottomUp}, {"auto", core.DirectionAuto}} {
+			cfgs = append(cfgs, dcfg{fmt.Sprintf("%s/parallel=%d", d.n, par), d.d, par})
+		}
+	}
+	names := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		names[i] = c.name
+	}
+	totals := sweep(cfg, names, reps, func(i int) int {
+		res, err := core.Traverse(0).Out(0).Out(0).Dedup().
+			Direction(cfgs[i].dir).Parallel(cfgs[i].par).Run(ctx, snap)
+		if err != nil {
+			panic(err)
+		}
+		return len(res)
+	})
+	ns := make(map[string]float64, len(cfgs))
+	for i, c := range cfgs {
+		ns[c.name] = float64(totals[i].Nanoseconds()) / float64(reps)
+	}
+	for i, c := range cfgs {
+		speedup := ns[fmt.Sprintf("topdown/parallel=%d", c.par)] / ns[c.name]
+		row(cfg, "direction %-22s %12.0f ns/op  (%.2fx vs topdown same width)", c.name, ns[c.name], speedup)
+		cfg.record(Metric{
+			Experiment: "bfs",
+			Name:       "direction/" + c.name,
+			NsPerOp:    ns[c.name],
+			Extra:      map[string]float64{"speedup_vs_topdown": speedup},
+		})
+		_ = i
+	}
+}
+
+func pushdownSweep(ctx context.Context, cfg Config, snap *core.Snapshot, reps int) {
+	// Keep one eighth of the targets: most scanned edges are rejected, so
+	// the fused predicate saves the dedup/materialize work per rejection.
+	lo := core.VertexID(1 + bfsSources)
+	hi := lo + bfsTargets/8
+	keep := func(v core.VertexID) bool { return v >= lo && v < hi }
+	names := []string{"filter", "pushdown"}
+	totals := sweep(cfg, names, reps, func(i int) int {
+		var res []core.VertexID
+		var err error
+		if i == 0 {
+			res, err = core.Traverse(0).Out(0).Out(0).Dedup().
+				Filter(func(_ core.Reader, v core.VertexID) bool { return keep(v) }).
+				Run(ctx, snap)
+		} else {
+			res, err = core.Traverse(0).Out(0).Out(0).Dedup().FilterDst(keep).Run(ctx, snap)
+		}
+		if err != nil {
+			panic(err)
+		}
+		return len(res)
+	})
+	filterNs := float64(totals[0].Nanoseconds()) / float64(reps)
+	pushNs := float64(totals[1].Nanoseconds()) / float64(reps)
+	speedup := filterNs / pushNs
+	row(cfg, "pushdown  trailing-filter %11.0f ns/op   fused-scan %11.0f ns/op  (%.2fx)",
+		filterNs, pushNs, speedup)
+	cfg.record(Metric{Experiment: "bfs", Name: "pushdown/filter", NsPerOp: filterNs})
+	cfg.record(Metric{
+		Experiment: "bfs",
+		Name:       "pushdown/fused",
+		NsPerOp:    pushNs,
+		Extra:      map[string]float64{"speedup_vs_filter": speedup},
+	})
+}
+
+func bfsSweep(cfg Config, snap *core.Snapshot, reps int) {
+	view := analytics.SnapshotView{Snap: snap, Label: 0}
+	names := []string{"topdown", "auto"}
+	dirs := []core.Direction{core.DirectionTopDown, core.DirectionAuto}
+	totals := sweep(cfg, names, reps, func(i int) int {
+		dist := analytics.BFSDir(view, 0, cfg.Workers, dirs[i])
+		reached := 0
+		for _, d := range dist {
+			if d >= 0 {
+				reached++
+			}
+		}
+		return reached
+	})
+	tdNs := float64(totals[0].Nanoseconds()) / float64(reps)
+	autoNs := float64(totals[1].Nanoseconds()) / float64(reps)
+	speedup := tdNs / autoNs
+	row(cfg, "bfs       topdown %11.0f ns/op   direction-optimizing %11.0f ns/op  (%.2fx)",
+		tdNs, autoNs, speedup)
+	cfg.record(Metric{Experiment: "bfs", Name: "bfs/topdown", NsPerOp: tdNs})
+	cfg.record(Metric{
+		Experiment: "bfs",
+		Name:       "bfs/auto",
+		NsPerOp:    autoNs,
+		Extra:      map[string]float64{"speedup_vs_topdown": speedup},
+	})
+}

@@ -173,10 +173,18 @@ func (c *committer) commitGroup(batch []*Tx) {
 func (c *committer) apply(tx *Tx, twe int64) {
 	g := c.g
 	// Publish each modified TEL's commit timestamp and tail (atomic LS
-	// store is the release point readers synchronise on).
+	// store is the release point readers synchronise on). The degree
+	// statistics ride the same loop: entry-count movement from the
+	// published tail, visible-edge delta from the append/invalidate sets
+	// (a pending insert the same transaction deleted appears in both and
+	// nets to zero).
 	for _, w := range tx.telWrites {
 		if w.dirty() {
+			oldN := w.cur.Len()
 			w.cur.Publish(w.n, w.propLen, twe)
+			label := Label(w.cur.Label())
+			g.statsPublish(label, oldN, w.n)
+			g.statsEdges(label, int64(len(w.appended)-len(w.invalidated)))
 		}
 	}
 	// Publish vertex versions (copy-on-write chain push).

@@ -117,6 +117,9 @@ func (g *Graph) compactTELsLocked(v VertexID, floor int64, h *storage.Handle, c 
 		}
 		nt.Publish(ni, npl, t.CommitTS())
 		e.tel.Store(nt)
+		// Compaction drops only dead entries, so the visible-edge counter
+		// is untouched; the entry count (scan cost) shrinks.
+		g.statsPublish(Label(t.Label()), n, ni)
 		h.DeferFree(t.Block, g.epochs.WriteEpoch())
 		g.forgetBlock(t)
 	}

@@ -109,6 +109,47 @@ type Options struct {
 	// take their worker count explicitly and are not affected.
 	TraversalParallelism int
 
+	// TraversalEngageMin is the frontier width below which a hop runs
+	// sequentially even when a worker pool is available — dispatching
+	// goroutines for a handful of scans costs more than the scans. Zero
+	// selects the adaptive default (morsel.DefaultSize in memory, 8 under
+	// the out-of-core simulation, both shrunk further for labels whose
+	// degree statistics show expensive per-vertex expansions).
+	TraversalEngageMin int
+
+	// TraversalMinMorsel floors the adaptive morsel width. Zero selects
+	// the default (8 in memory, 1 under the out-of-core simulation, where
+	// overlapping per-vertex fault stalls is the whole point).
+	TraversalMinMorsel int
+
+	// TraversalMorselEdges is the degree-driven morsel sizing target: the
+	// engine aims each morsel at about this many scanned edges, using the
+	// label's live average degree, so hub-heavy labels get finer morsels.
+	// Zero selects the default (512); negative disables degree-driven
+	// sizing, reverting to the pre-adaptive frontier-splitting rule.
+	TraversalMorselEdges int
+
+	// TraversalBottomUpAlpha tunes the direction-optimizing switch: a hop
+	// goes bottom-up when the frontier's estimated outgoing edge count
+	// exceeds Alpha × the label's candidate (hinted-target) count — the
+	// Beamer-style "frontier is dense enough that probing candidates is
+	// cheaper than scanning it" test. Zero selects the default (8);
+	// negative disables automatic bottom-up (explicit
+	// Direction(DirectionBottomUp) still forces it).
+	TraversalBottomUpAlpha float64
+
+	// TraversalBottomUpBeta is the companion guard: bottom-up also
+	// requires the frontier's estimated edges to exceed 1/Beta of the
+	// label's total edges, so a narrow frontier on a huge label never
+	// probes every candidate. Zero selects the default (3).
+	TraversalBottomUpBeta float64
+
+	// DisableReverseIndex turns off the (dst,label) → sources hint index
+	// that bottom-up expansion probes. Saves the memory and the one hint
+	// insert per first-time edge at write time; forced bottom-up then
+	// fails and adaptive execution stays top-down.
+	DisableReverseIndex bool
+
 	// HistoryRetention keeps invalidated versions readable for this many
 	// epochs behind the current read epoch, enabling temporal queries via
 	// SnapshotAt (the paper's §9 future-work direction: "the
@@ -216,6 +257,13 @@ type Graph struct {
 	vindex     chunkedIndex[vertexVersion]
 	eindex     chunkedIndex[labelList]
 	nextVertex atomic.Int64
+
+	// Adaptive-traversal substrate: per-label degree statistics
+	// (stats.go) and the reverse hint index (revindex.go), both keyed by
+	// label — dense and small, unlike destination IDs, which may span
+	// the whole int64 space and are kept sparse inside each revLabel.
+	lstats chunkedIndex[labelStats]
+	rev    chunkedIndex[revLabel]
 
 	slots  chan int // pool of worker slots (reader-table indices)
 	commit *committer

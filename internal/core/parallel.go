@@ -35,11 +35,17 @@ import (
 const stopCheckEdges = 1024
 
 // expandParallel executes one stepOut over the frontier on a worker pool.
-// seen is nil unless the traversal dedups; capped marks the final hop of a
-// Limit-ed traversal, where production stops at t.limit results.
-// countHits enables the dedup-hit counter (EXPLAIN annotation); it is off
-// on plain runs so the dedup fast path stays a single bitset operation.
-func (t *Traversal) expandParallel(ctx context.Context, r Reader, frontier []VertexID, label Label, capped bool, workers int, seen *sparsebit.Set, morselSize int, countHits bool) ([]VertexID, int64, error) {
+// keep, when non-nil, is the fused destination predicate pushed into each
+// worker's TEL scans. seen is nil unless the traversal dedups; capped
+// marks the final hop of a Limit-ed traversal, where production stops at
+// t.limit results. countHits enables the dedup-hit counter (EXPLAIN
+// annotation); it is off on plain runs so the dedup fast path stays a
+// single bitset operation.
+func (t *Traversal) expandParallel(ctx context.Context, r Reader, frontier []VertexID, label Label, keep func(VertexID) bool, capped bool, workers int, seen *sparsebit.Set, morselSize int, countHits bool) ([]VertexID, int64, error) {
+	var keep64 func(int64) bool
+	if keep != nil {
+		keep64 = func(d int64) bool { return keep(VertexID(d)) }
+	}
 	cur := morsel.NewCursor(len(frontier), morselSize)
 	outs := make([][]VertexID, cur.Count())
 	var (
@@ -92,7 +98,7 @@ func (t *Traversal) expandParallel(ctx context.Context, r Reader, frontier []Ver
 						itp = r.Neighbors(v, label)
 					}
 					scanned := 0
-					for itp.Next() {
+					for itp.advance(keep64) {
 						if scanned++; scanned%stopCheckEdges == 0 {
 							if stop.Load() {
 								outs[m] = buf

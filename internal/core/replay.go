@@ -12,6 +12,7 @@ package core
 import (
 	"path/filepath"
 
+	"livegraph/internal/mvcc"
 	"livegraph/internal/storage"
 	"livegraph/internal/tel"
 	"livegraph/internal/wal"
@@ -97,6 +98,7 @@ func (g *Graph) recover() error {
 			maxEpoch = durable
 		}
 	}
+	g.rebuildTraversalIndexes()
 	g.epochs.Init(maxEpoch)
 	return nil
 }
@@ -157,6 +159,9 @@ func (g *Graph) replayEdge(h *storage.Handle, op byte, src VertexID, label Label
 				t.SetInvalidation(i, epoch)
 				dead = t.EntryDeadBytes(i)
 				t.AddDeadBytes(dead)
+				if live {
+					g.statsEdges(label, -1)
+				}
 			}
 		}
 		if op == opDeleteEdge {
@@ -182,5 +187,49 @@ func (g *Graph) replayEdge(h *storage.Handle, op byte, src VertexID, label Label
 	}
 	pl = t.Append(n, int64(dst), epoch, props, pl)
 	t.Publish(n+1, pl, epoch)
+	if live {
+		// Replication apply maintains the traversal indexes incrementally,
+		// mirroring the primary's commit-time hooks; recovery (live=false)
+		// rebuilds them in one pass instead (rebuildTraversalIndexes).
+		g.statsPublish(label, n, n+1)
+		g.statsEdges(label, 1)
+		g.revAdd(dst, label, src)
+	}
 	return dead
+}
+
+// rebuildTraversalIndexes derives the degree statistics and the reverse
+// hint index from the recovered TEL state in one single-threaded pass.
+// Recovery loads checkpoints and replays the WAL below the incremental
+// hooks (live=false), so after it finishes this walk is the sole source of
+// truth: every committed entry counts toward the per-label histogram, live
+// entries (no invalidation) toward the visible-edge counter, and every
+// entry — dead ones included, hints being a harmless superset — seeds the
+// reverse index.
+func (g *Graph) rebuildTraversalIndexes() {
+	nv := g.nextVertex.Load()
+	for v := int64(0); v < nv; v++ {
+		ll := g.eindex.Get(v)
+		if ll == nil {
+			continue
+		}
+		entries := ll.entries.Load()
+		if entries == nil {
+			continue
+		}
+		for _, e := range *entries {
+			t := e.tel.Load()
+			n := t.Len()
+			label := Label(t.Label())
+			g.statsPublish(label, 0, n)
+			live := int64(0)
+			for i := 0; i < n; i++ {
+				if t.Invalidation(i) == mvcc.NullTS {
+					live++
+				}
+				g.revAdd(VertexID(t.Dst(i)), label, VertexID(v))
+			}
+			g.statsEdges(label, live)
+		}
+	}
 }

@@ -204,3 +204,30 @@ func (s *Snapshot) HasEdge(v VertexID, label Label, dst VertexID) bool {
 	_, err := s.GetEdge(v, label, dst)
 	return err == nil
 }
+
+// ScanInCandidates invokes fn for every *hinted* in-neighbor candidate of
+// (v, label): a superset of the true in-neighbors at any epoch, fed by the
+// reverse hint index (stale hints from aborted or deleted edges may
+// appear; no true in-neighbor is ever missing). fn returning false stops
+// the scan. Callers needing exactness confirm each candidate with
+// GetEdge/HasEdge — which is what ScanIn does.
+func (s *Snapshot) ScanInCandidates(v VertexID, label Label, fn func(src VertexID) bool) {
+	for _, src := range s.g.inHints(v, label) {
+		if !fn(src) {
+			return
+		}
+	}
+}
+
+// ScanIn invokes fn for every confirmed in-neighbor of (v, label) at this
+// snapshot's epoch: hint candidates filtered through the forward read
+// path, so MVCC visibility is exact. Requires the reverse index (on by
+// default; see Options.DisableReverseIndex — with it disabled the scan
+// yields nothing).
+func (s *Snapshot) ScanIn(v VertexID, label Label, fn func(src VertexID) bool) {
+	for _, src := range s.g.inHints(v, label) {
+		if s.HasEdge(src, label, v) && !fn(src) {
+			return
+		}
+	}
+}

@@ -10,11 +10,22 @@ package core
 // runs unchanged inside a transaction (*Tx, seeing its own writes), on a
 // pinned analytics snapshot (*Snapshot), or against a past epoch via AsOf.
 //
-// Hops execute on the morsel-driven parallel engine (parallel.go) when the
-// Reader is safe for concurrent use and the frontier is wide enough to pay
-// for worker dispatch; each worker still performs purely sequential TEL
-// scans — parallelism comes from expanding disjoint frontier morsels
-// concurrently, never from reordering accesses within one adjacency list.
+// Execution is *adaptive*, steered by the per-label degree statistics the
+// engine maintains at apply time (stats.go):
+//
+//   - hops run on the morsel-driven parallel engine (parallel.go) when the
+//     Reader is safe for concurrent use and the frontier's estimated work
+//     repays worker dispatch, with morsel widths sized so each morsel
+//     scans about Options.TraversalMorselEdges edges;
+//   - a deduplicating hop switches to bottom-up (direction-optimizing)
+//     expansion when the frontier is dense against the label's candidate
+//     set (bottomup.go) — probing hinted destinations against a frozen
+//     frontier bitset instead of scanning every frontier TEL forward;
+//   - pure destination predicates (FilterDst) are pushed down into the
+//     TEL scan loop itself, so rejected edges never surface.
+//
+// Every adaptive choice changes only the execution schedule, never the
+// result semantics, and RunExplain reports what was chosen per hop.
 
 import (
 	"context"
@@ -38,15 +49,58 @@ var ErrAsOfMismatch = errors.New("livegraph: traversal AsOf epoch differs from t
 // can otherwise expand multiplicatively without bound.
 var ErrFrontierTooLarge = errors.New("livegraph: traversal frontier exceeded MaxFrontier; narrow the walk with Dedup, Filter or Limit")
 
+// ErrBottomUpUnsupported is returned when Direction(DirectionBottomUp)
+// forces bottom-up expansion on a traversal that cannot run it: bottom-up
+// emits each destination at most once (it requires Dedup) and probes the
+// graph's reverse hint index (it requires a graph-backed Reader with
+// Options.DisableReverseIndex unset). Adaptive runs never hit this error —
+// with the prerequisites missing they silently stay top-down.
+var ErrBottomUpUnsupported = errors.New("livegraph: bottom-up expansion requires Dedup and a graph-backed Reader with the reverse index enabled")
+
+// Direction selects the expansion strategy for a traversal's hops.
+type Direction int
+
+const (
+	// DirectionAuto (the default) picks per hop: bottom-up when the
+	// degree statistics say the frontier is dense against the label's
+	// candidate set, top-down otherwise.
+	DirectionAuto Direction = iota
+	// DirectionTopDown forces classic forward expansion: scan every
+	// frontier vertex's adjacency list.
+	DirectionTopDown
+	// DirectionBottomUp forces bottom-up expansion on every hop; see
+	// ErrBottomUpUnsupported for its prerequisites.
+	DirectionBottomUp
+)
+
 const (
 	stepOut = iota
 	stepFilter
+	stepFilterDst
 )
 
 type travStep struct {
-	kind   int
-	label  Label                           // stepOut
-	filter func(r Reader, v VertexID) bool // stepFilter
+	kind      int
+	label     Label                           // stepOut
+	filter    func(r Reader, v VertexID) bool // stepFilter
+	filterPar bool                            // stepFilter: safe for concurrent calls
+	keep      func(v VertexID) bool           // stepFilterDst
+}
+
+// execStep is one step of the compiled plan: original steps with every
+// FilterDst predicate in the filter run after a hop fused into that hop's
+// scan (predicate pushdown). Compiled at build time (recompile), so Run
+// does no planning work.
+type execStep struct {
+	kind      int
+	si        int // index of the originating step (EXPLAIN alignment)
+	label     Label
+	filter    func(r Reader, v VertexID) bool
+	filterPar bool
+	keep      func(v VertexID) bool // fused/standalone destination predicate
+	pushdown  int                   // FilterDst predicates fused into this hop
+	fusedSi   []int                 // their original step indices
+	reordered bool                  // a fused predicate overtook a Filter
 }
 
 // Traversal is a multi-hop traversal specification built by chaining Out,
@@ -64,6 +118,7 @@ type travStep struct {
 type Traversal struct {
 	src         []VertexID
 	steps       []travStep
+	plan        []execStep
 	limit       int
 	maxFrontier int
 	parallel    int
@@ -71,6 +126,7 @@ type Traversal struct {
 	asOf        int64
 	hasAsOf     bool
 	dedup       bool
+	direction   Direction
 }
 
 // Traverse starts a traversal from the given source vertices.
@@ -82,14 +138,45 @@ func Traverse(src ...VertexID) *Traversal {
 // edge of every frontier vertex, scanned newest first.
 func (t *Traversal) Out(label Label) *Traversal {
 	t.steps = append(t.steps, travStep{kind: stepOut, label: label})
+	t.recompile()
 	return t
 }
 
 // Filter keeps only frontier vertices for which fn returns true. fn
 // receives the executing Reader, so it can consult vertex payloads or edge
-// properties at the traversal's snapshot.
+// properties at the traversal's snapshot. fn always runs on the caller's
+// goroutine, post-expansion, in frontier order — it may be stateful; use
+// FilterParallel for thread-safe predicates worth fanning out, and
+// FilterDst for pure destination-ID predicates the engine can push into
+// the scans.
 func (t *Traversal) Filter(fn func(r Reader, v VertexID) bool) *Traversal {
 	t.steps = append(t.steps, travStep{kind: stepFilter, filter: fn})
+	t.recompile()
+	return t
+}
+
+// FilterParallel is Filter for predicates that are safe to call from
+// multiple goroutines concurrently: on wide frontiers over a concurrency-
+// safe Reader the predicate runs on the morsel worker pool (frontier order
+// is preserved). Semantically identical to Filter otherwise.
+func (t *Traversal) FilterParallel(fn func(r Reader, v VertexID) bool) *Traversal {
+	t.steps = append(t.steps, travStep{kind: stepFilter, filter: fn, filterPar: true})
+	t.recompile()
+	return t
+}
+
+// FilterDst keeps only frontier vertices whose *ID* satisfies fn. fn must
+// be a pure function of the vertex ID — no Reader access, no side effects,
+// safe from any goroutine — which is what lets the planner push it down
+// into the TEL scan loop of the preceding hop (rejected edges never
+// surface or count against budgets) and evaluate it before any adjacent
+// Filter in the same run. The surviving result set is always identical to
+// running the predicates in written order; only evaluation order and
+// per-predicate side effects (which fn must not have) can differ. See
+// Explain's pushdown/reordered fields for what the planner did.
+func (t *Traversal) FilterDst(fn func(v VertexID) bool) *Traversal {
+	t.steps = append(t.steps, travStep{kind: stepFilterDst, keep: fn})
+	t.recompile()
 	return t
 }
 
@@ -110,7 +197,9 @@ func (t *Traversal) Limit(n int) *Traversal {
 
 // MaxFrontier bounds the size every intermediate frontier may reach;
 // exceeding it aborts the run with ErrFrontierTooLarge. Zero means
-// unbounded (the default for trusted, in-process callers).
+// unbounded (the default for trusted, in-process callers). The bound
+// applies to frontiers as actually materialised: destinations a pushed-
+// down FilterDst rejects inside the scan never count.
 func (t *Traversal) MaxFrontier(n int) *Traversal {
 	t.maxFrontier = n
 	return t
@@ -140,11 +229,21 @@ func (t *Traversal) Parallel(n int) *Traversal {
 // MorselSize overrides the number of frontier vertices per work morsel.
 // Zero (the default) sizes morsels adaptively: morsel.DefaultSize at
 // most, shrunk until the frontier splits into about four morsels per
-// worker, so pools stay busy even when one vertex's expansion is slow.
-// Smaller morsels balance skewed frontiers at the cost of more claim
-// traffic; mostly a tuning and testing knob.
+// worker — or, when the label's degree statistics are available, until a
+// morsel scans about Options.TraversalMorselEdges edges. Smaller morsels
+// balance skewed frontiers at the cost of more claim traffic; mostly a
+// tuning and testing knob.
 func (t *Traversal) MorselSize(n int) *Traversal {
 	t.morselN = n
+	return t
+}
+
+// Direction overrides the expansion strategy for every hop of this
+// traversal: DirectionAuto (the default) decides per hop from the degree
+// statistics, DirectionTopDown and DirectionBottomUp force one strategy —
+// the A/B lever for benchmarks and the equivalence suite.
+func (t *Traversal) Direction(d Direction) *Traversal {
+	t.direction = d
 	return t
 }
 
@@ -159,6 +258,62 @@ func (t *Traversal) AsOf(epoch int64) *Traversal {
 	return t
 }
 
+// recompile rebuilds the execution plan from the step list; called by
+// every step-appending builder method so Run never plans.
+//
+// The only rewrite is predicate pushdown: within each contiguous run of
+// filter steps following a hop, FilterDst predicates are fused into the
+// hop's scan (composed with AND) and the remaining Filter steps keep their
+// original relative order after it. A fused predicate that textually
+// followed a Filter in the run is thereby evaluated earlier — legal
+// because FilterDst predicates are pure (see FilterDst) — and the plan
+// marks the hop reordered. Filter runs not preceded by a hop (at the very
+// front of the traversal) execute as written.
+func (t *Traversal) recompile() {
+	t.plan = t.plan[:0]
+	n := len(t.steps)
+	for i := 0; i < n; {
+		st := &t.steps[i]
+		if st.kind != stepOut {
+			t.plan = append(t.plan, execStep{
+				kind: st.kind, si: i,
+				filter: st.filter, filterPar: st.filterPar, keep: st.keep,
+			})
+			i++
+			continue
+		}
+		es := execStep{kind: stepOut, si: i, label: st.label}
+		var rest []execStep
+		sawFilter := false
+		j := i + 1
+		for ; j < n && t.steps[j].kind != stepOut; j++ {
+			fs := &t.steps[j]
+			if fs.kind == stepFilterDst {
+				es.keep = andKeep(es.keep, fs.keep)
+				es.pushdown++
+				es.fusedSi = append(es.fusedSi, j)
+				if sawFilter {
+					es.reordered = true
+				}
+			} else {
+				sawFilter = true
+				rest = append(rest, execStep{kind: stepFilter, si: j, filter: fs.filter, filterPar: fs.filterPar})
+			}
+		}
+		t.plan = append(t.plan, es)
+		t.plan = append(t.plan, rest...)
+		i = j
+	}
+}
+
+// andKeep composes destination predicates left to right.
+func andKeep(a, b func(VertexID) bool) func(VertexID) bool {
+	if a == nil {
+		return b
+	}
+	return func(v VertexID) bool { return a(v) && b(v) }
+}
+
 // Run executes the traversal against r and returns the final frontier.
 // Cancelling ctx stops the traversal between scans.
 func (t *Traversal) Run(ctx context.Context, r Reader) ([]VertexID, error) {
@@ -169,10 +324,10 @@ func (t *Traversal) Run(ctx context.Context, r Reader) ([]VertexID, error) {
 }
 
 // RunExplain is Run with plan annotation: the traversal executes normally
-// and the returned Explain carries per-hop frontier sizes, dedup hits,
-// morsel widths and budget cuts. The plan is returned even when execution
-// fails (with Explain.Error set), so a budget abort still shows which hop
-// blew up.
+// and the returned Explain carries per-hop frontier sizes, expansion
+// directions, dedup hits, morsel widths and budget cuts. The plan is
+// returned even when execution fails (with Explain.Error set), so a budget
+// abort still shows which hop blew up.
 func (t *Traversal) RunExplain(ctx context.Context, r Reader) ([]VertexID, *Explain, error) {
 	ex := t.Explain()
 	if t.hasAsOf && r.ReadEpoch() != t.asOf {
@@ -227,52 +382,150 @@ func (t *Traversal) effectiveParallelism(r Reader) int {
 	return p
 }
 
+// travKnobs are the run-resolved adaptive-policy parameters: the
+// Options.Traversal* knobs with defaults filled in, plus the switches the
+// hop loop consults.
+type travKnobs struct {
+	engageMin   int     // frontier width that repays worker dispatch
+	minMorsel   int     // adaptive morsel-width floor
+	morselEdges int     // per-morsel edge target (0 = degree-driven sizing off)
+	buAlpha     float64 // bottom-up density factor (0 = auto bottom-up off)
+	buBeta      float64 // bottom-up total-edge guard
+}
+
+const (
+	defaultMorselEdges   = 512
+	defaultBottomUpAlpha = 8.0
+	defaultBottomUpBeta  = 3.0
+	// bottomUpMinFrontier keeps trivially narrow frontiers top-down: below
+	// it the frontier bitset build alone outweighs any probe savings.
+	bottomUpMinFrontier = 16
+	// engageMinFloor bounds how far degree statistics may lower the
+	// parallel-engage threshold on hub-heavy labels.
+	engageMinFloor = 4
+)
+
+// resolveKnobs fills the adaptive-policy parameters for a run over g
+// (which may be nil for foreign Readers — defaults then apply). In memory,
+// expanding one vertex costs sub-microsecond scans, so only
+// DefaultSize-wide frontiers repay worker dispatch and morsels stay
+// coarse. Under the out-of-core simulation a single expansion can stall
+// milliseconds on page faults — overlapping those waits is the whole point
+// — so even an 8-vertex frontier fans out, one vertex per morsel.
+func resolveKnobs(g *Graph) travKnobs {
+	k := travKnobs{
+		engageMin:   morsel.DefaultSize,
+		minMorsel:   8,
+		morselEdges: defaultMorselEdges,
+		buAlpha:     defaultBottomUpAlpha,
+		buBeta:      defaultBottomUpBeta,
+	}
+	if g == nil {
+		return k
+	}
+	if g.opts.PageCache != nil {
+		k.engageMin, k.minMorsel = 8, 1
+	}
+	if v := g.opts.TraversalEngageMin; v > 0 {
+		k.engageMin = v
+	}
+	if v := g.opts.TraversalMinMorsel; v > 0 {
+		k.minMorsel = v
+	}
+	if v := g.opts.TraversalMorselEdges; v != 0 {
+		k.morselEdges = v
+		if v < 0 {
+			k.morselEdges = 0 // degree-driven sizing disabled
+		}
+	}
+	if v := g.opts.TraversalBottomUpAlpha; v != 0 {
+		k.buAlpha = v
+		if v < 0 {
+			k.buAlpha = 0 // auto bottom-up disabled
+		}
+	}
+	if v := g.opts.TraversalBottomUpBeta; v > 0 {
+		k.buBeta = v
+	}
+	return k
+}
+
 // hopMorselSize picks the morsel width for one hop: the explicit
-// MorselSize when set, otherwise DefaultSize shrunk until the frontier
-// splits into about four morsels per worker, floored at minMorsel.
-// Oversplitting costs one atomic claim per extra morsel — noise — while
-// undersplitting idles workers whenever per-vertex cost balloons (a hub's
-// long TEL, an out-of-core page fault), so the adaptive default errs
-// toward fine.
-func (t *Traversal) hopMorselSize(frontierLen, par, minMorsel int) int {
+// MorselSize when set, otherwise at most morsel.DefaultSize — lowered so
+// one morsel scans about k.morselEdges edges when the label's live average
+// degree is known — shrunk until the frontier splits into about four
+// morsels per worker, floored at k.minMorsel. Oversplitting costs one
+// atomic claim per extra morsel — noise — while undersplitting idles
+// workers whenever per-vertex cost balloons (a hub's long TEL, an
+// out-of-core page fault), so the adaptive default errs toward fine.
+func (t *Traversal) hopMorselSize(frontierLen, par int, k travKnobs, avgDeg float64) int {
 	if t.morselN > 0 {
 		return t.morselN
 	}
-	size := morsel.DefaultSize
-	if target := frontierLen / (4 * par); target < size {
-		size = target
-		if size < minMorsel {
-			size = minMorsel
+	maxSize := morsel.DefaultSize
+	if k.morselEdges > 0 && avgDeg > 1 {
+		if target := int(float64(k.morselEdges) / avgDeg); target < maxSize {
+			maxSize = target
 		}
 	}
-	return size
+	return morsel.SizeFor(frontierLen, par, k.minMorsel, maxSize)
 }
 
 // engageParallel reports whether a hop over frontierLen vertices should
-// dispatch to the worker pool: frontiers below engageMin run sequentially
-// — dispatching goroutines for a handful of scans costs more than the
-// scans themselves.
-func (t *Traversal) engageParallel(frontierLen, par, engageMin int) bool {
+// dispatch to the worker pool: frontiers below the engage threshold run
+// sequentially — dispatching goroutines for a handful of scans costs more
+// than the scans themselves. The threshold is k.engageMin vertices,
+// lowered (to at least engageMinFloor) for labels whose average degree
+// makes even a narrow frontier expensive to expand.
+func (t *Traversal) engageParallel(frontierLen, par int, k travKnobs, avgDeg float64) bool {
 	if par <= 1 {
 		return false
 	}
 	if t.morselN > 0 {
 		return frontierLen > t.morselN
 	}
-	return frontierLen >= engageMin
+	eff := k.engageMin
+	if k.morselEdges > 0 && avgDeg > 1 {
+		if e := int(float64(8*k.morselEdges) / avgDeg); e < eff {
+			eff = e
+			if eff < engageMinFloor {
+				eff = engageMinFloor
+			}
+		}
+	}
+	return frontierLen >= eff
 }
 
-// parallelThresholds returns (engageMin, minMorsel) for runs over r. In
-// memory, expanding one vertex costs sub-microsecond scans, so only
-// DefaultSize-wide frontiers repay worker dispatch and morsels stay
-// coarse. Under the out-of-core simulation a single expansion can stall
-// milliseconds on page faults — overlapping those waits is the whole
-// point — so even an 8-vertex frontier fans out, one vertex per morsel.
-func parallelThresholds(r Reader) (engageMin, minMorsel int) {
-	if gs, ok := r.(graphSource); ok && gs.graph().opts.PageCache != nil {
-		return 8, 1
+// chooseBottomUp decides one hop's expansion direction. A forced
+// DirectionBottomUp without the prerequisites is an error; DirectionAuto
+// applies the Beamer-style density test against the label's statistics:
+// go bottom-up when the frontier's estimated outgoing edges exceed
+// alpha × the hinted candidate count (probing candidates beats scanning
+// the frontier) and make up more than 1/beta of the label's total edges
+// (the frontier genuinely covers the label, so candidate probes hit).
+func (t *Traversal) chooseBottomUp(g *Graph, frontierLen int, k travKnobs, ls LabelStats) (bool, error) {
+	canBU := t.dedup && g != nil && !g.opts.DisableReverseIndex
+	switch t.direction {
+	case DirectionTopDown:
+		return false, nil
+	case DirectionBottomUp:
+		if !canBU {
+			return false, ErrBottomUpUnsupported
+		}
+		return true, nil
 	}
-	return morsel.DefaultSize, 8
+	if !canBU || k.buAlpha <= 0 || frontierLen < bottomUpMinFrontier {
+		return false, nil
+	}
+	if ls.Targets <= 0 || ls.Lists <= 0 {
+		return false, nil
+	}
+	avg := ls.AvgDegree
+	if avg < 1 {
+		avg = 1
+	}
+	mf := float64(frontierLen) * avg
+	return mf > k.buAlpha*float64(ls.Targets) && k.buBeta*mf > float64(ls.Edges), nil
 }
 
 // run executes the traversal. ex, when non-nil, receives per-hop runtime
@@ -315,28 +568,36 @@ func (t *Traversal) run(ctx context.Context, r Reader, ex *Explain) ([]VertexID,
 
 func (t *Traversal) runSteps(ctx context.Context, r Reader, ex *Explain, o *graphObs) ([]VertexID, error) {
 	frontier := append([]VertexID(nil), t.src...)
-	lastStep := len(t.steps) - 1
+	lastExec := len(t.plan) - 1
 	par := t.effectiveParallelism(r)
 	if ex != nil {
 		ex.Parallelism = par
 	}
+	var g *Graph
+	if gs, ok := r.(graphSource); ok {
+		g = gs.graph()
+	}
+	stats, _ := r.(degreeStatsSource)
+	knobs := resolveKnobs(g)
 	// One seen set and one scan iterator serve the whole run: the set's
 	// pages and the iterator are reused hop after hop, so a multi-hop
-	// traversal stops allocating once it has touched its working set.
+	// traversal stops allocating once it has touched its working set. The
+	// frontier bitset for bottom-up hops is allocated on first use.
 	var seen *sparsebit.Set
 	if t.dedup {
 		seen = sparsebit.New(4 * par)
 	}
-	engageMin, minMorsel := parallelThresholds(r)
+	var fbits *sparsebit.Set
 	seq := seqExpander{r: r}
 	seq.its, seq.hasInto = r.(edgeIterSource)
-	for si, st := range t.steps {
+	for pi := range t.plan {
+		es := &t.plan[pi]
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		var hp *HopPlan
 		if ex != nil {
-			hp = &ex.Hops[si]
+			hp = &ex.Hops[es.si]
 			hp.FrontierIn = len(frontier)
 		}
 		var hopStart time.Time
@@ -344,11 +605,40 @@ func (t *Traversal) runSteps(ctx context.Context, r Reader, ex *Explain, o *grap
 		if timed {
 			hopStart = time.Now()
 		}
-		switch st.kind {
+		switch es.kind {
 		case stepFilter:
+			var err error
+			if es.filterPar && t.engageParallel(len(frontier), par, knobs, 0) {
+				ms := t.hopMorselSize(len(frontier), par, knobs, 0)
+				if hp != nil {
+					hp.Parallel = true
+					hp.Workers = par
+					hp.MorselSize = ms
+					hp.Morsels = (len(frontier) + ms - 1) / ms
+				}
+				frontier, err = filterFrontierParallel(ctx, r, frontier, es.filter, par, ms)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				kept := frontier[:0]
+				for _, v := range frontier {
+					if es.filter(r, v) {
+						kept = append(kept, v)
+					}
+				}
+				frontier = kept
+			}
+			if hp != nil {
+				hp.FrontierOut = len(frontier)
+				hp.DurationNs = time.Since(hopStart).Nanoseconds()
+			}
+		case stepFilterDst:
+			// A standalone destination predicate (no hop to fuse into):
+			// a pure in-place sweep.
 			kept := frontier[:0]
 			for _, v := range frontier {
-				if st.filter(r, v) {
+				if es.keep(v) {
 					kept = append(kept, v)
 				}
 			}
@@ -361,7 +651,15 @@ func (t *Traversal) runSteps(ctx context.Context, r Reader, ex *Explain, o *grap
 			// Short-circuit the scans only when this hop produces the
 			// final result set; earlier hops must stay complete because a
 			// later filter may drop vertices.
-			capped := t.limit > 0 && si == lastStep
+			capped := t.limit > 0 && pi == lastExec
+			var ls LabelStats
+			if stats != nil {
+				ls = stats.DegreeStats(es.label)
+			}
+			bottomUp, err := t.chooseBottomUp(g, len(frontier), knobs, ls)
+			if err != nil {
+				return nil, err
+			}
 			if t.dedup {
 				seen.Reset() // dedup is per hop
 			}
@@ -369,11 +667,25 @@ func (t *Traversal) runSteps(ctx context.Context, r Reader, ex *Explain, o *grap
 			var (
 				next []VertexID
 				hits int64
-				err  error
 			)
-			if t.engageParallel(len(frontier), par, engageMin) {
-				ms := t.hopMorselSize(len(frontier), par, minMorsel)
+			if bottomUp {
 				if hp != nil {
+					hp.Direction = "bottomup"
+				}
+				if fbits == nil {
+					// Probed lock-free (Peek) by workers against a frozen
+					// set; one stripe suffices since the build is
+					// single-threaded.
+					fbits = sparsebit.New(1)
+				}
+				if hsp != nil {
+					hsp.SetAttr(obs.String("direction", "bottomup"))
+				}
+				next, err = t.expandBottomUp(ctx, r, g, frontier, es, fbits, capped, par, hp)
+			} else if t.engageParallel(len(frontier), par, knobs, ls.AvgDegree) {
+				ms := t.hopMorselSize(len(frontier), par, knobs, ls.AvgDegree)
+				if hp != nil {
+					hp.Direction = "topdown"
 					hp.Parallel = true
 					hp.Workers = par
 					hp.MorselSize = ms
@@ -383,9 +695,12 @@ func (t *Traversal) runSteps(ctx context.Context, r Reader, ex *Explain, o *grap
 					hsp.SetAttr(obs.String("engine", "morsel"),
 						obs.Int("workers", int64(par)), obs.Int("morselSize", int64(ms)))
 				}
-				next, hits, err = t.expandParallel(ctx, r, frontier, st.label, capped, par, seen, ms, hp != nil)
+				next, hits, err = t.expandParallel(ctx, r, frontier, es.label, es.keep, capped, par, seen, ms, hp != nil)
 			} else {
-				next, hits, err = seq.expand(ctx, t, frontier, st.label, capped, seen, hp != nil)
+				if hp != nil {
+					hp.Direction = "topdown"
+				}
+				next, hits, err = seq.expand(ctx, t, frontier, es.label, es.keep, capped, seen, hp != nil)
 			}
 			if hp != nil {
 				hp.DedupHits = hits
@@ -431,9 +746,14 @@ type seqExpander struct {
 	it      EdgeIter
 }
 
-// expand performs one sequential stepOut. countHits enables dedup-hit
-// counting (EXPLAIN); hits is 0 otherwise.
-func (s *seqExpander) expand(ctx context.Context, t *Traversal, frontier []VertexID, label Label, capped bool, seen *sparsebit.Set, countHits bool) (next []VertexID, hits int64, err error) {
+// expand performs one sequential stepOut. keep, when non-nil, is the fused
+// destination predicate, pushed into the TEL scan loop. countHits enables
+// dedup-hit counting (EXPLAIN); hits is 0 otherwise.
+func (s *seqExpander) expand(ctx context.Context, t *Traversal, frontier []VertexID, label Label, keep func(VertexID) bool, capped bool, seen *sparsebit.Set, countHits bool) (next []VertexID, hits int64, err error) {
+	var keep64 func(int64) bool
+	if keep != nil {
+		keep64 = func(d int64) bool { return keep(VertexID(d)) }
+	}
 	next = make([]VertexID, 0, len(frontier))
 	for _, v := range frontier {
 		if err := ctx.Err(); err != nil {
@@ -445,7 +765,7 @@ func (s *seqExpander) expand(ctx context.Context, t *Traversal, frontier []Verte
 		} else {
 			itp = s.r.Neighbors(v, label)
 		}
-		for itp.Next() {
+		for itp.advance(keep64) {
 			d := itp.Dst()
 			if t.dedup && seen.TestAndSet(int64(d)) {
 				if countHits {
@@ -463,4 +783,33 @@ func (s *seqExpander) expand(ctx context.Context, t *Traversal, frontier []Verte
 		}
 	}
 	return next, hits, nil
+}
+
+// advance steps the iterator, with the destination predicate pushed into
+// the scan when one is fused (nil keep is the plain path).
+func (e *EdgeIter) advance(keep func(int64) bool) bool {
+	if keep == nil {
+		return e.Next()
+	}
+	return e.nextWhere(keep)
+}
+
+// filterFrontierParallel evaluates a concurrency-safe Filter predicate on
+// the morsel worker pool, preserving frontier order (each worker marks its
+// range; the survivors are compacted in place afterwards) — bit-identical
+// to the sequential sweep for pure predicates.
+func filterFrontierParallel(ctx context.Context, r Reader, frontier []VertexID, pred func(Reader, VertexID) bool, workers, morselSize int) ([]VertexID, error) {
+	marks := make([]bool, len(frontier))
+	if err := morselMark(ctx, len(frontier), workers, morselSize, func(i int) bool {
+		return pred(r, frontier[i])
+	}, marks); err != nil {
+		return nil, err
+	}
+	kept := frontier[:0]
+	for i, ok := range marks {
+		if ok {
+			kept = append(kept, frontier[i])
+		}
+	}
+	return kept, nil
 }

@@ -1,0 +1,528 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// buildFanIn builds the adversarial-for-top-down shape: a seed vertex with
+// edges to nSrc "source" vertices, each of which points at every one of
+// nDst shared "target" vertices. A two-hop from the seed visits
+// nSrc*nDst edges top-down but only nDst candidates bottom-up. Vertex IDs:
+// 0 = seed, [1, nSrc] = sources, [nSrc+1, nSrc+nDst] = targets.
+func buildFanIn(t testing.TB, opts Options, nSrc, nDst int) *Graph {
+	t.Helper()
+	g, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	mustCommit(t, g, func(tx *Tx) {
+		for i := 0; i < 1+nSrc+nDst; i++ {
+			tx.AddVertex(nil)
+		}
+	})
+	// Commit in batches so the fixture doesn't build one giant tx.
+	for s := 1; s <= nSrc; s += 8 {
+		lo, hi := s, s+8
+		if hi > nSrc+1 {
+			hi = nSrc + 1
+		}
+		mustCommit(t, g, func(tx *Tx) {
+			for src := lo; src < hi; src++ {
+				tx.InsertEdge(0, 0, VertexID(src), nil)
+				for d := 0; d < nDst; d++ {
+					tx.InsertEdge(VertexID(src), 0, VertexID(1+nSrc+d), nil)
+				}
+			}
+		})
+	}
+	return g
+}
+
+func sortedIDs(in []VertexID) []VertexID {
+	out := append([]VertexID(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameSet(t *testing.T, name string, got, want []VertexID) {
+	t.Helper()
+	gs, ws := sortedIDs(got), sortedIDs(want)
+	if !sameIDs(gs, ws) {
+		t.Errorf("%s: result set %v != reference %v", name, gs, ws)
+	}
+}
+
+// TestDirectionEquivalence is the invariant every expansion strategy must
+// uphold: forced top-down, forced bottom-up and the adaptive executor
+// return the same result for the same traversal — identical sets under
+// Dedup (parallel and bottom-up passes reorder within a hop; only forced
+// top-down sequential promises byte order against the reference).
+// Exercised across Dedup, Filter, FilterDst, Limit and AsOf, sequential
+// and parallel.
+func TestDirectionEquivalence(t *testing.T) {
+	g := buildFanIn(t, Options{HistoryRetention: 1 << 30}, 48, 12)
+	ctx := context.Background()
+
+	before := g.ReadEpoch()
+	mustCommit(t, g, func(tx *Tx) {
+		// Post-epoch churn: a new edge and a deleted one. AsOf runs must
+		// not see either change, and bottom-up's stale superset hint for
+		// the deleted edge must be rejected by the forward confirm.
+		v, err := tx.AddVertex(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.InsertEdge(1, 0, v, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.DeleteEdge(3, 0, VertexID(49+5)); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	build := func() *Traversal { return Traverse(0).Out(0).Out(0).Dedup() }
+	variants := map[string]func() *Traversal{
+		"dedup": build,
+		"filter": func() *Traversal {
+			return build().Filter(func(r Reader, v VertexID) bool { return v%2 == 0 })
+		},
+		"filterDst": func() *Traversal {
+			return build().FilterDst(func(v VertexID) bool { return v%3 != 0 })
+		},
+		"limit": func() *Traversal {
+			return build().Limit(5)
+		},
+		"asof": func() *Traversal {
+			return build().AsOf(before)
+		},
+	}
+
+	for name, mk := range variants {
+		t.Run(name, func(t *testing.T) {
+			var snap *Snapshot
+			var err error
+			if name == "asof" {
+				snap, err = g.SnapshotAt(before)
+			} else {
+				snap, err = g.Snapshot()
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer snap.Release()
+
+			ref, err := mk().Direction(DirectionTopDown).Parallel(1).Run(ctx, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name != "limit" && name != "filter" && len(ref) == 0 {
+				t.Fatal("fixture produced an empty reference")
+			}
+			for _, par := range []int{1, 4} {
+				for dname, dir := range map[string]Direction{
+					"topdown": DirectionTopDown, "bottomup": DirectionBottomUp, "auto": DirectionAuto,
+				} {
+					tr := mk().Direction(dir).Parallel(par)
+					got, err := tr.Run(ctx, snap)
+					if err != nil {
+						t.Fatalf("%s par=%d: %v", dname, par, err)
+					}
+					label := fmt.Sprintf("%s par=%d", dname, par)
+					if name == "limit" {
+						// Limit-ed runs agree on count; membership must be a
+						// subset of the unlimited reference set.
+						if len(got) != len(ref) {
+							t.Errorf("%s: %d results, reference has %d", label, len(got), len(ref))
+						}
+						full, err := mk().Direction(DirectionTopDown).Parallel(1).Limit(0).Run(ctx, snap)
+						if err != nil {
+							t.Fatal(err)
+						}
+						in := map[VertexID]bool{}
+						for _, v := range full {
+							in[v] = true
+						}
+						for _, v := range got {
+							if !in[v] {
+								t.Errorf("%s: %d not in unlimited reference %v", label, v, full)
+							}
+						}
+						continue
+					}
+					sameSet(t, label, got, ref)
+					// Only forced top-down sequential promises byte order;
+					// bottom-up (forced or auto-chosen) emits in ascending
+					// candidate order — same set, different schedule.
+					if par == 1 && dir == DirectionTopDown && !sameIDs(got, ref) {
+						t.Errorf("%s: sequential order drifted: %v != %v", label, got, ref)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBottomUpUnsupported: forcing bottom-up on a traversal that cannot
+// run it (no Dedup — bottom-up emits each destination at most once) is an
+// error; auto silently stays top-down.
+func TestBottomUpUnsupported(t *testing.T) {
+	g := buildSocial(t)
+	ctx := context.Background()
+	snap, _ := g.Snapshot()
+	defer snap.Release()
+
+	if _, err := Traverse(0).Out(0).Direction(DirectionBottomUp).Run(ctx, snap); !errors.Is(err, ErrBottomUpUnsupported) {
+		t.Fatalf("forced bottomup without Dedup err = %v, want ErrBottomUpUnsupported", err)
+	}
+	if _, err := Traverse(0).Out(0).Direction(DirectionAuto).Run(ctx, snap); err != nil {
+		t.Fatalf("auto without Dedup must fall back to topdown: %v", err)
+	}
+
+	// The reverse index can be disabled wholesale; forced bottom-up then
+	// fails even with Dedup.
+	g2, err := Open(Options{DisableReverseIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	mustCommit(t, g2, func(tx *Tx) {
+		tx.AddVertex(nil)
+		tx.AddVertex(nil)
+		tx.InsertEdge(0, 0, 1, nil)
+	})
+	snap2, _ := g2.Snapshot()
+	defer snap2.Release()
+	if _, err := Traverse(0).Out(0).Dedup().Direction(DirectionBottomUp).Run(ctx, snap2); !errors.Is(err, ErrBottomUpUnsupported) {
+		t.Fatalf("forced bottomup with DisableReverseIndex err = %v, want ErrBottomUpUnsupported", err)
+	}
+}
+
+// TestBottomUpExplainAttribution: a forced bottom-up hop reports
+// direction "bottomup" with candidate/probe counters; the same hop forced
+// top-down reports "topdown" with dedup hits and zero bottom-up counters.
+func TestBottomUpExplainAttribution(t *testing.T) {
+	g := buildFanIn(t, Options{}, 16, 6)
+	ctx := context.Background()
+	snap, _ := g.Snapshot()
+	defer snap.Release()
+
+	_, ex, err := Traverse(0).Out(0).Out(0).Dedup().Direction(DirectionBottomUp).RunExplain(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop := ex.Hops[1]
+	if hop.Direction != "bottomup" {
+		t.Fatalf("forced bottomup hop direction = %q", hop.Direction)
+	}
+	if hop.Candidates == 0 || hop.HintProbes == 0 {
+		t.Fatalf("bottomup hop reported no probe work: %+v", hop)
+	}
+	if hop.DedupHits != 0 {
+		t.Fatalf("bottomup hop reported dedup hits: %+v", hop)
+	}
+	if ex.Direction != "bottomup" {
+		t.Fatalf("requested direction = %q", ex.Direction)
+	}
+
+	_, ex, err = Traverse(0).Out(0).Out(0).Dedup().Direction(DirectionTopDown).RunExplain(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop = ex.Hops[1]
+	if hop.Direction != "topdown" {
+		t.Fatalf("forced topdown hop direction = %q", hop.Direction)
+	}
+	if hop.DedupHits == 0 {
+		t.Fatalf("high-fan-in topdown hop reported no dedup hits: %+v", hop)
+	}
+	if hop.Candidates != 0 || hop.HintProbes != 0 {
+		t.Fatalf("topdown hop reported bottom-up counters: %+v", hop)
+	}
+}
+
+// TestPushdownEquivalenceAndExplain: a FilterDst compiles into the
+// preceding hop's scan loop (pushdown in the plan), produces the same
+// results as an equivalent Filter, and reordering past a Filter is
+// surfaced in the plan.
+func TestPushdownEquivalenceAndExplain(t *testing.T) {
+	g := buildFanIn(t, Options{}, 24, 8)
+	ctx := context.Background()
+	snap, _ := g.Snapshot()
+	defer snap.Release()
+
+	keep := func(v VertexID) bool { return v%2 == 1 }
+	viaFilter, err := Traverse(0).Out(0).Out(0).Dedup().
+		Filter(func(r Reader, v VertexID) bool { return keep(v) }).Run(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDst, err := Traverse(0).Out(0).Out(0).Dedup().FilterDst(keep).Run(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(sortedIDs(viaDst), sortedIDs(viaFilter)) {
+		t.Fatalf("pushdown drifted: %v != %v", viaDst, viaFilter)
+	}
+
+	ex := Traverse(0).Out(0).Out(0).FilterDst(keep).Dedup().Explain()
+	if ex.Hops[1].Pushdown != 1 {
+		t.Fatalf("hop 1 pushdown = %d, want 1: %+v", ex.Hops[1].Pushdown, ex.Hops)
+	}
+	if !ex.Hops[2].Fused || ex.Hops[2].FusedInto != 1 {
+		t.Fatalf("filterDst step not marked fused into hop 1: %+v", ex.Hops[2])
+	}
+	if ex.Hops[1].Reordered {
+		t.Fatalf("no reorder happened but plan claims one: %+v", ex.Hops[1])
+	}
+
+	// FilterDst written after a Filter is hoisted ahead of it into the
+	// hop's scan — licensed by FilterDst's purity contract and flagged.
+	ex = Traverse(0).Out(0).
+		Filter(func(Reader, VertexID) bool { return true }).
+		FilterDst(keep).Explain()
+	if ex.Hops[0].Pushdown != 1 || !ex.Hops[0].Reordered {
+		t.Fatalf("reordered pushdown not flagged: %+v", ex.Hops[0])
+	}
+}
+
+// TestFilterParallelEquivalence: the parallel Filter stage returns exactly
+// what the sequential Filter returns, order included (morselMark is
+// order-preserving).
+func TestFilterParallelEquivalence(t *testing.T) {
+	g := buildFanIn(t, Options{}, 48, 12)
+	ctx := context.Background()
+	snap, _ := g.Snapshot()
+	defer snap.Release()
+
+	pred := func(r Reader, v VertexID) bool { return v%3 != 1 }
+	seqRes, err := Traverse(0).Out(0).Out(0).Filter(pred).Run(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := Traverse(0).Out(0).Out(0).FilterParallel(pred).Parallel(4).Run(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(parRes, seqRes) {
+		t.Fatalf("parallel filter drifted: %d vs %d results", len(parRes), len(seqRes))
+	}
+}
+
+// TestDegreeStats validates the incrementally-maintained per-label degree
+// statistics against ground truth across the three maintenance paths:
+// live apply, compaction, and recovery rebuild.
+func TestDegreeStats(t *testing.T) {
+	g := buildFanIn(t, Options{}, 10, 4)
+	// Ground truth: seed has 10 out-edges; each source has 4.
+	st := g.LabelDegreeStats(0)
+	if st.Lists != 11 {
+		t.Fatalf("Lists = %d, want 11", st.Lists)
+	}
+	if st.Edges != 10+10*4 {
+		t.Fatalf("Edges = %d, want 50", st.Edges)
+	}
+	if st.Entries != st.Edges {
+		t.Fatalf("Entries = %d with no deletions, want %d", st.Entries, st.Edges)
+	}
+	if st.Targets == 0 {
+		t.Fatalf("Targets = 0 with reverse index enabled")
+	}
+	if st.AvgDegree < 4 || st.AvgDegree > 5 {
+		t.Fatalf("AvgDegree = %v, want ~50/11", st.AvgDegree)
+	}
+	// p90 of {10, 4 x10} falls in the 4-7 bucket; the estimate is that
+	// bucket's upper bound.
+	if st.P90Degree < 4 || st.P90Degree > 15 {
+		t.Fatalf("P90Degree = %d for degrees {10, 4x10}", st.P90Degree)
+	}
+
+	// Deletions shrink Edges but Entries keep counting (scan cost).
+	mustCommit(t, g, func(tx *Tx) {
+		if err := tx.DeleteEdge(1, 0, 11); err != nil {
+			t.Fatal(err)
+		}
+	})
+	st = g.LabelDegreeStats(0)
+	if st.Edges != 49 {
+		t.Fatalf("Edges after delete = %d, want 49", st.Edges)
+	}
+	if st.Entries <= 49 {
+		t.Fatalf("Entries after delete = %d, must exceed visible edges", st.Entries)
+	}
+
+	// Compaction drops dead entries: Entries converges back toward Edges.
+	g.CompactNow()
+	st = g.LabelDegreeStats(0)
+	if st.Edges != 49 {
+		t.Fatalf("Edges after compaction = %d, want 49", st.Edges)
+	}
+	if st.Entries != 49 {
+		t.Fatalf("Entries after compaction = %d, want 49", st.Entries)
+	}
+
+	// An aborted tx must not leak into the stats.
+	tx, err := g.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.InsertEdge(1, 0, 12, nil); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if got := g.LabelDegreeStats(0).Edges; got != 49 {
+		t.Fatalf("Edges after abort = %d, want 49", got)
+	}
+}
+
+// TestDegreeStatsRecovery: reopening a durable graph rebuilds the degree
+// statistics and the reverse hint index from the recovered TELs, so
+// adaptive planning and bottom-up expansion survive a restart.
+func TestDegreeStatsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	g, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, g, func(tx *Tx) {
+		for i := 0; i < 6; i++ {
+			tx.AddVertex(nil)
+		}
+		tx.InsertEdge(0, 0, 1, nil)
+		tx.InsertEdge(0, 0, 2, nil)
+		tx.InsertEdge(1, 0, 3, nil)
+		tx.InsertEdge(2, 0, 3, nil)
+		tx.InsertEdge(4, 7, 5, nil)
+	})
+	mustCommit(t, g, func(tx *Tx) {
+		if err := tx.DeleteEdge(0, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	want := g.LabelDegreeStats(0)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	got := g2.LabelDegreeStats(0)
+	if got.Lists != want.Lists || got.Edges != want.Edges {
+		t.Fatalf("recovered stats %+v, want %+v", got, want)
+	}
+	if got7 := g2.LabelDegreeStats(7); got7.Edges != 1 || got7.Lists != 1 {
+		t.Fatalf("recovered label-7 stats %+v", got7)
+	}
+
+	// The rebuilt reverse index must support bottom-up end to end.
+	ctx := context.Background()
+	snap, err := g2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	bu, err := Traverse(0).Out(0).Out(0).Dedup().Direction(DirectionBottomUp).Run(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := Traverse(0).Out(0).Out(0).Dedup().Direction(DirectionTopDown).Run(ctx, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, "recovered bottomup", bu, td)
+	if len(td) != 1 || td[0] != 3 {
+		t.Fatalf("recovered two-hop = %v, want [3]", td)
+	}
+}
+
+// TestTraversalKnobOptions: the Options knobs reach the executor — a
+// negative TraversalBottomUpAlpha disables auto bottom-up even on a shape
+// the heuristic would flip, and explicit knob values are honored.
+func TestTraversalKnobOptions(t *testing.T) {
+	ctx := context.Background()
+	mk := func(o Options) *Graph {
+		g, err := Open(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { g.Close() })
+		mustCommit(t, g, func(tx *Tx) {
+			for i := 0; i < 40; i++ {
+				tx.AddVertex(nil)
+			}
+			for s := 1; s <= 30; s++ {
+				tx.InsertEdge(0, 0, VertexID(s), nil)
+				for d := 31; d < 36; d++ {
+					tx.InsertEdge(VertexID(s), 0, VertexID(d), nil)
+				}
+			}
+		})
+		return g
+	}
+
+	// Aggressive alpha: the dense second hop flips to bottom-up.
+	g := mk(Options{TraversalBottomUpAlpha: 0.5})
+	snap, _ := g.Snapshot()
+	_, ex, err := Traverse(0).Out(0).Out(0).Dedup().RunExplain(ctx, snap)
+	snap.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Hops[1].Direction != "bottomup" {
+		t.Fatalf("alpha=0.5 hop directions = [%q %q], want second bottomup",
+			ex.Hops[0].Direction, ex.Hops[1].Direction)
+	}
+	if ex.Hops[0].Direction != "topdown" {
+		t.Fatalf("seed hop (frontier=1) must stay topdown, got %q", ex.Hops[0].Direction)
+	}
+
+	// Negative alpha: auto never flips, even on the same shape.
+	g2 := mk(Options{TraversalBottomUpAlpha: -1})
+	snap2, _ := g2.Snapshot()
+	_, ex2, err := Traverse(0).Out(0).Out(0).Dedup().RunExplain(ctx, snap2)
+	snap2.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, hp := range ex2.Hops {
+		if hp.Direction == "bottomup" {
+			t.Fatalf("alpha<0 hop %d went bottomup", i)
+		}
+	}
+}
+
+// TestTraversalNoExplainAllocs pins the hot path: a prebuilt sequential
+// traversal without EXPLAIN must not allocate per-run beyond the result
+// slices — in particular none of the EXPLAIN counters may be maintained.
+func TestTraversalNoExplainAllocs(t *testing.T) {
+	g := buildSocial(t)
+	ctx := context.Background()
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	tr := Traverse(0).Out(0).Out(0)
+	if _, err := tr.Run(ctx, snap); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := tr.Run(ctx, snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: the EdgeIter, the two frontier slices and small runtime
+	// bookkeeping. The point is a hard ceiling: EXPLAIN attribution or
+	// adaptive planning regressions that allocate per edge or per hop
+	// blow well past it.
+	if got > 12 {
+		t.Fatalf("plain sequential Run allocates %.0f objects/run, budget 12", got)
+	}
+}

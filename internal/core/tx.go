@@ -398,6 +398,10 @@ func (tx *Tx) InsertEdge(src VertexID, label Label, dst VertexID, props []byte) 
 		return err
 	}
 	tx.appendEdge(w, dst, props)
+	// Hint the reverse index at work time: commit publishes the epoch
+	// after this line, so any reader that can see the edge finds the hint
+	// (see revindex.go). An abort just leaves a harmless stale hint.
+	tx.g.revAdd(dst, label, src)
 	b := tx.walShard(src)
 	*b = appendEdgeOp(*b, opInsertEdge, src, label, dst, props)
 	// A true insertion creates no garbage; the mark only queues the
@@ -421,6 +425,7 @@ func (tx *Tx) AddEdge(src VertexID, label Label, dst VertexID, props []byte) err
 		return err
 	}
 	tx.appendEdge(w, dst, props)
+	tx.g.revAdd(dst, label, src)
 	b := tx.walShard(src)
 	*b = appendEdgeOp(*b, opUpsertEdge, src, label, dst, props)
 	// Weight 0: the exact garbage of the invalidated version (if any) is
@@ -537,6 +542,32 @@ func (e *EdgeIter) Next() bool {
 		}
 	}
 	return true
+}
+
+// nextWhere advances to the next visible edge whose destination satisfies
+// keep — the predicate-pushdown scan path. On the in-memory fast path the
+// predicate runs *inside* the TEL scan loop (tel.Iter.NextWhere), so
+// rejected destinations never pay the MVCC visibility check; under the
+// out-of-core simulation it degrades to Next()+check, preserving the
+// per-entry page-fault accounting.
+func (e *EdgeIter) nextWhere(keep func(dst int64) bool) bool {
+	if e.done {
+		return false
+	}
+	if e.g == nil {
+		e.i = e.it.NextWhere(keep)
+		if e.i < 0 {
+			e.done = true
+			return false
+		}
+		return true
+	}
+	for e.Next() {
+		if keep(e.t.Dst(e.i)) {
+			return true
+		}
+	}
+	return false
 }
 
 // Dst returns the current edge's destination vertex.

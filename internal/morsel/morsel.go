@@ -20,6 +20,32 @@ import "sync/atomic"
 // enough that the claim (one atomic add) is noise against the work.
 const DefaultSize = 64
 
+// SizeFor picks an adaptive morsel width for n items over a pool of the
+// given width: at most max (clamped to DefaultSize when max <= 0), shrunk
+// until the space splits into about four morsels per worker, floored at
+// min. Oversplitting costs one atomic claim per extra morsel — noise —
+// while undersplitting idles workers whenever per-item cost balloons, so
+// the adaptive default errs toward fine.
+func SizeFor(n, workers, min, max int) int {
+	if max <= 0 || max > DefaultSize {
+		max = DefaultSize
+	}
+	if min < 1 {
+		min = 1
+	}
+	size := max
+	if workers < 1 {
+		workers = 1
+	}
+	if target := n / (4 * workers); target < size {
+		size = target
+	}
+	if size < min {
+		size = min
+	}
+	return size
+}
+
 // Cursor deals morsels of [0,n) to concurrent claimants.
 type Cursor struct {
 	n, size int64

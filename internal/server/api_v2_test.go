@@ -338,3 +338,121 @@ func TestClientDoesNotRetryNonConflict(t *testing.T) {
 		t.Fatalf("server saw %d calls, want 1", got)
 	}
 }
+
+// TestTraverseEndpointDirection: ?direction= reaches the executor — both
+// forced directions return the top-down answer set, forcing bottomup
+// without dedup is a 400, junk values are rejected, and the EXPLAIN
+// response attributes the direction actually used.
+func TestTraverseEndpointDirection(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	root, err := c.AddVertex(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []Op
+	for i := 0; i < 40; i++ {
+		ops = append(ops, Op{Op: "addVertex"})
+	}
+	vs, err := c.Tx(ops...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// root -> 30 mids, each mid -> the same 10 shared leaves.
+	ops = ops[:0]
+	for _, m := range vs[:30] {
+		ops = append(ops, Op{Op: "insertEdge", Src: root, Label: 0, Dst: m})
+		for _, l := range vs[30:] {
+			ops = append(ops, Op{Op: "insertEdge", Src: m, Label: 0, Dst: l})
+		}
+	}
+	if _, err := c.Tx(ops...); err != nil {
+		t.Fatal(err)
+	}
+
+	td, _, err := c.Traverse(root, []int64{0, 0}, &TraverseOptions{Dedup: true, Direction: "topdown"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, _, err := c.Traverse(root, []int64{0, 0}, &TraverseOptions{Dedup: true, Direction: "bottomup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td) != 10 || len(bu) != len(td) {
+		t.Fatalf("topdown %d results, bottomup %d, want 10 each", len(td), len(bu))
+	}
+	in := map[int64]bool{}
+	for _, v := range td {
+		in[v] = true
+	}
+	for _, v := range bu {
+		if !in[v] {
+			t.Fatalf("bottomup leaf %d not in topdown set %v", v, td)
+		}
+	}
+
+	// EXPLAIN attributes the direction per hop.
+	resp, err := c.TraverseExplain(root, []int64{0, 0}, &TraverseOptions{Dedup: true, Direction: "bottomup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Explain == nil || resp.Explain.Hops[1].Direction != "bottomup" {
+		t.Fatalf("explain = %+v, want hop 1 direction bottomup", resp.Explain)
+	}
+
+	// Forced bottomup without dedup cannot run.
+	if _, _, err := c.Traverse(root, []int64{0}, &TraverseOptions{Direction: "bottomup"}); err == nil {
+		t.Fatal("bottomup without dedup succeeded, want 400")
+	}
+	resp2, err := http.Get(c.Base + "/v1/traverse/0?out=0&direction=sideways")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("direction=sideways: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestTraverseEndpointDstRange: ?dstmin/?dstmax compile to a pushed-down
+// destination predicate — results match client-side filtering and the
+// plan reports the fusion.
+func TestTraverseEndpointDstRange(t *testing.T) {
+	c, _ := startServer(t, core.Options{})
+	ids := seedChain(t, c)
+
+	all, _, err := c.Traverse(ids[0], []int64{0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Traverse(ids[0], []int64{0, 0},
+		&TraverseOptions{MinDst: ids[2], MaxDst: ids[2], DstRangeSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int64
+	for _, v := range all {
+		if v == ids[2] {
+			want = append(want, v)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("dst range = %v, want %v", got, want)
+	}
+	out, _, err := c.Traverse(ids[0], []int64{0, 0},
+		&TraverseOptions{MinDst: ids[2] + 1, MaxDst: -1, DstRangeSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("out-of-range = %v, want empty", out)
+	}
+
+	plan, err := c.ExplainPlan(ids[0], []int64{0, 0},
+		&TraverseOptions{MinDst: 0, MaxDst: 10, DstRangeSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Hops[1].Pushdown != 1 {
+		t.Fatalf("plan hop 1 pushdown = %d, want 1: %+v", plan.Hops[1].Pushdown, plan.Hops)
+	}
+}

@@ -218,6 +218,16 @@ type TraverseOptions struct {
 	// frontier engine (clamped by the server's MaxTraverseParallel; 1
 	// forces a sequential walk, 0 defers to the server default).
 	Parallel int
+	// Direction forces the expansion strategy: "topdown" or "bottomup"
+	// ("" or "auto" lets the executor decide per hop from degree
+	// statistics). Forcing bottomup without Dedup is a client error (400).
+	Direction string
+	// MinDst/MaxDst constrain final-hop destinations to an ID range; a
+	// negative bound is open. Sent only when DstRangeSet — the server
+	// compiles the range to a destination predicate pushed into the TEL
+	// scan loop.
+	MinDst, MaxDst int64
+	DstRangeSet    bool
 }
 
 // Traverse runs a multi-hop traversal on the server: one hop per label in
@@ -264,6 +274,17 @@ func (c *Client) traverse(src int64, out []int64, opt *TraverseOptions, explain 
 		}
 		if opt.Parallel > 0 {
 			q.Set("parallel", strconv.Itoa(opt.Parallel))
+		}
+		if opt.Direction != "" && opt.Direction != "auto" {
+			q.Set("direction", opt.Direction)
+		}
+		if opt.DstRangeSet {
+			if opt.MinDst >= 0 {
+				q.Set("dstmin", strconv.FormatInt(opt.MinDst, 10))
+			}
+			if opt.MaxDst >= 0 {
+				q.Set("dstmax", strconv.FormatInt(opt.MaxDst, 10))
+			}
 		}
 	}
 	if explain != "" {

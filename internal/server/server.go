@@ -39,6 +39,12 @@
 // return 410 Gone. parallel requests a worker-pool width for the
 // morsel-driven frontier engine, clamped to MaxTraverseParallel; absent or
 // 0 defers to the engine default (Options.TraversalParallelism).
+// direction=auto|topdown|bottomup forces the expansion strategy (auto lets
+// the executor pick per hop from degree statistics; forcing bottomup on a
+// traversal that cannot support it — no Dedup — is a 400).
+// dstmin=N/dstmax=N constrain final-hop destinations to an ID range; the
+// range compiles to a pure destination predicate that the planner pushes
+// down into the TEL scan loop (visible as pushdown in EXPLAIN).
 //
 // Every handler threads the request context through the engine — begin,
 // vertex-lock and group-commit waits all end when the client disconnects
@@ -512,6 +518,34 @@ func (s *Server) handleTraverse(w http.ResponseWriter, r *http.Request) {
 	if parallel > 0 {
 		t.Parallel(int(parallel))
 	}
+	switch dir := q.Get("direction"); dir {
+	case "", "auto":
+	case "topdown":
+		t.Direction(core.DirectionTopDown)
+	case "bottomup":
+		t.Direction(core.DirectionBottomUp)
+	default:
+		httpErr(w, http.StatusBadRequest, "direction=%q: want auto/topdown/bottomup", dir)
+		return
+	}
+	dstMin, err := queryInt(r, "dstmin", -1)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dstMax, err := queryInt(r, "dstmax", -1)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if dstMin >= 0 || dstMax >= 0 {
+		// A destination ID range is a pure per-vertex predicate, so it
+		// compiles to FilterDst and is pushed into the hop's TEL scans.
+		lo, hi := dstMin, dstMax
+		t.FilterDst(func(v core.VertexID) bool {
+			return (lo < 0 || int64(v) >= lo) && (hi < 0 || int64(v) <= hi)
+		})
+	}
 	asOf, err := queryInt(r, "asof", -1)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, "%v", err)
@@ -563,6 +597,9 @@ func (s *Server) handleTraverse(w http.ResponseWriter, r *http.Request) {
 		code := http.StatusServiceUnavailable
 		if errors.Is(err, core.ErrFrontierTooLarge) {
 			code = http.StatusUnprocessableEntity
+		}
+		if errors.Is(err, core.ErrBottomUpUnsupported) {
+			code = http.StatusBadRequest
 		}
 		if ex != nil {
 			// An explained run reports the annotated plan alongside the

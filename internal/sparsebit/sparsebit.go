@@ -86,6 +86,18 @@ func (s *Set) Test(k int64) bool {
 	return set
 }
 
+// Peek reports whether bit k is set without taking the stripe lock. It is
+// safe only on a frozen Set: every mutation (TestAndSet, Reset) must
+// happen-before the goroutines calling Peek start, and no mutation may run
+// concurrently. The direction-optimizing traversal engine builds a frontier
+// bitset single-threaded and then probes it from the bottom-up worker pool,
+// where a per-probe mutex would dominate the scan.
+func (s *Set) Peek(k int64) bool {
+	pg, bit := k/pageBits, uint(k%pageBits)
+	p := s.stripes[pg&s.mask].pages[pg]
+	return p != nil && p[bit/64]&(uint64(1)<<(bit%64)) != 0
+}
+
 // Reset clears every bit while retaining the allocated pages, so a Set
 // reused across traversal hops stops allocating once it has seen the
 // graph's working set. Not safe to call concurrently with other methods.

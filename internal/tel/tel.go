@@ -351,3 +351,22 @@ func (it *Iter) Next() int {
 	}
 	return -1
 }
+
+// NextWhere is Next with a destination predicate pushed into the scan
+// loop: entries whose destination fails keep are skipped before the
+// visibility check — one plain word load against two atomic timestamp
+// loads — which is what makes predicate pushdown cheaper than
+// materialize-then-filter. Because the predicate also runs on entries that
+// would fail the visibility check, keep must be a pure function of the
+// destination ID (the traversal planner only fuses such predicates).
+func (it *Iter) NextWhere(keep func(dst int64) bool) int {
+	for it.i--; it.i >= 0; it.i-- {
+		if !keep(it.t.Dst(it.i)) {
+			continue
+		}
+		if mvcc.Visible(it.t.Creation(it.i), it.t.Invalidation(it.i), it.tre, it.tid) {
+			return it.i
+		}
+	}
+	return -1
+}
